@@ -1,0 +1,104 @@
+/// Ablation: the Cube method (volumetric/statistical, Section II related
+/// work) against the deterministic grid screener.
+///
+/// Two claims from the literature are quantified:
+///  1. The Cube estimate is *statistical*: expected-collision numbers,
+///     not deterministic conjunction events — it cannot name pairs/TCAs.
+///  2. "Limitations of the cube method for assessing large constellations"
+///     (Lewis et al. 2019): for a phased constellation shell, co-orbiting
+///     geometry breaks the kinetic-theory assumptions — the cube sees
+///     permanent co-residency at near-zero relative velocity while the
+///     deterministic screener correctly reports whether the phasing keeps
+///     the satellites apart.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "propagation/contour_solver.hpp"
+#include "propagation/two_body.hpp"
+#include "util/constants.hpp"
+#include "volumetric/cube.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scod;
+  using namespace scod::bench;
+
+  HarnessOptions opt = parse_harness_options(argc, argv);
+  print_banner("Cube method vs deterministic screening",
+               "related work [21], [22] (Section II)");
+
+  const ContourKeplerSolver solver;
+
+  // --- Random catalog population: both methods should agree on *where*
+  // the activity is (relative ordering across population sizes).
+  TextTable table({"population", "n", "grid conjunctions", "cube E[collisions]",
+                   "cube co-res pairs/sample", "grid [s]", "cube [s]"});
+
+  for (std::int64_t n64 : opt.sizes) {
+    const auto n = static_cast<std::size_t>(n64);
+    const auto sats = generate_population({n, opt.seed});
+    const TwoBodyPropagator prop(sats, solver);
+
+    ScreeningConfig cfg = make_config(opt);
+    Stopwatch grid_watch;
+    const ScreeningReport grid = GridScreener().screen(prop, cfg);
+    const double grid_secs = grid_watch.seconds();
+
+    CubeConfig cube_cfg;
+    cube_cfg.cube_size_km = 10.0;
+    cube_cfg.samples = 1000;
+    Stopwatch cube_watch;
+    const CubeResult cube =
+        cube_collision_estimate(prop, cfg.t_begin, cfg.t_end, cube_cfg);
+    const double cube_secs = cube_watch.seconds();
+
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "%.3e", cube.expected_collisions);
+    table.add_row({"catalog", TextTable::integer(n64),
+                   TextTable::integer(static_cast<long long>(grid.conjunctions.size())),
+                   expected, TextTable::num(cube.mean_pairs_per_sample, 3),
+                   TextTable::num(grid_secs, 2), TextTable::num(cube_secs, 2)});
+    std::printf("  n=%6zu: grid %zu conjunctions (%.2f s), cube E=%.3e (%.2f s)\n",
+                n, grid.conjunctions.size(), grid_secs, cube.expected_collisions,
+                cube_secs);
+    std::fflush(stdout);
+  }
+
+  // --- Constellation blind spot: a phased Walker plane where satellites
+  // never approach each other, but permanently share cubes.
+  {
+    const auto shell = generate_constellation_shell(1, 20, 550.0, 0.93, 0.0);
+    const TwoBodyPropagator prop(shell, solver);
+    ScreeningConfig cfg = make_config(opt);
+    cfg.threshold_km = 5.0;
+    const ScreeningReport grid = GridScreener().screen(prop, cfg);
+
+    CubeConfig cube_cfg;
+    cube_cfg.cube_size_km = 3000.0;  // of the order of the in-plane spacing
+    cube_cfg.samples = 1000;
+    const CubeResult cube =
+        cube_collision_estimate(prop, cfg.t_begin, cfg.t_end, cube_cfg);
+
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "%.3e", cube.expected_collisions);
+    table.add_row({"walker-plane", "20",
+                   TextTable::integer(static_cast<long long>(grid.conjunctions.size())),
+                   expected, TextTable::num(cube.mean_pairs_per_sample, 3), "-", "-"});
+    std::printf("\n  walker plane: grid %zu conjunctions (phasing keeps them "
+                "apart);\n  cube sees %.3f co-resident pairs/sample at ~zero "
+                "v_rel -> E=%.3e\n",
+                grid.conjunctions.size(), cube.mean_pairs_per_sample,
+                cube.expected_collisions);
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nreading: the cube runtime is linear in n and flat in activity, but\n"
+      "it yields rates, not events; for phased constellations its kinetic\n"
+      "assumptions misprice the (deliberately) co-orbiting geometry — the\n"
+      "deterministic grid screening is what operators need there, which is\n"
+      "exactly the paper's motivation.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Catalog round trip + propagator swapping: save/load a population as a
+/// CSV catalog (the interchange format of population/catalog_io.hpp), then
+/// screen the same catalog with the two-body propagator and the J2 secular
+/// propagator (one of the paper's proposed extensions) and compare what
+/// the nodal precession does to the conjunction picture over a day.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/grid_screener.hpp"
+#include "population/catalog_io.hpp"
+#include "population/generator.hpp"
+#include "propagation/contour_solver.hpp"
+#include "propagation/j2_secular.hpp"
+#include "propagation/two_body.hpp"
+
+int main() {
+  using namespace scod;
+
+  // Build and persist a catalog, then load it back — the pattern for
+  // feeding externally supplied element sets into the screener.
+  PopulationConfig population;
+  population.count = 1500;
+  population.seed = 99;
+  const auto generated = generate_population(population);
+
+  const std::string path = "/tmp/scod_example_catalog.csv";
+  save_catalog_csv(path, generated);
+  const auto catalog = load_catalog_csv(path);
+  std::printf("catalog round trip: wrote and re-read %zu objects (%s)\n\n",
+              catalog.size(), path.c_str());
+
+  ScreeningConfig config;
+  config.threshold_km = 2.0;
+  config.t_end = 12.0 * 3600.0;
+  config.seconds_per_sample = 8.0;
+
+  const ContourKeplerSolver solver;
+  const GridScreener screener;
+
+  // Two-body propagation (the paper's model)...
+  const TwoBodyPropagator two_body(catalog, solver);
+  const ScreeningReport kepler_report = screener.screen(two_body, config);
+  std::printf("two-body propagation: %4zu conjunctions, %6zu candidates, %.2f s\n",
+              kepler_report.conjunctions.size(), kepler_report.stats.candidates,
+              kepler_report.timings.total());
+
+  // ...vs J2 secular propagation (nodal regression + apsidal rotation).
+  const J2SecularPropagator j2(catalog, solver);
+  const ScreeningReport j2_report = screener.screen(j2, config);
+  std::printf("J2 secular propagation: %3zu conjunctions, %6zu candidates, %.2f s\n",
+              j2_report.conjunctions.size(), j2_report.stats.candidates,
+              j2_report.timings.total());
+
+  const PairSetDiff diff = compare_pair_sets(kepler_report.colliding_pairs(),
+                                             j2_report.colliding_pairs());
+  std::printf(
+      "\npair agreement: %zu common, %zu two-body-only, %zu J2-only\n"
+      "over half a day the J2 plane drift moves encounters by whole kilometres,\n"
+      "so the propagator choice visibly changes the screening result —\n"
+      "which is why the paper lists propagator exchange as future work.\n",
+      diff.common, diff.only_in_first, diff.only_in_second);
+  return 0;
+}

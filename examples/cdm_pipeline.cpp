@@ -1,0 +1,103 @@
+/// End-to-end operational pipeline: TLE catalog -> ephemeris -> conjunction
+/// screening -> assessment -> CCSDS-style CDM messages.
+///
+/// This chains every layer of the library the way a screening service
+/// would: element sets arrive as TLEs, orbits are precomputed into an
+/// interpolated ephemeris (so the millions of distance evaluations hit a
+/// table instead of a Kepler solve), the grid variant screens the catalog,
+/// and the reported conjunctions are worked up into collision
+/// probabilities and conjunction data messages.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "assessment/cdm.hpp"
+#include "core/grid_screener.hpp"
+#include "orbit/geometry.hpp"
+#include "population/generator.hpp"
+#include "population/tle.hpp"
+#include "propagation/ephemeris.hpp"
+#include "util/constants.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace scod;
+
+  // --- 1. A TLE catalog. Normally this is downloaded (e.g. Celestrak's
+  // active-satellite list, the seed of the paper's population model); here
+  // we synthesize one so the example is self-contained, writing and
+  // re-reading a real TLE file through the parser.
+  const std::string path = "/tmp/scod_example_catalog.tle";
+  {
+    const auto population = generate_population({800, 4242});
+    std::ofstream out(path);
+    for (const Satellite& sat : population) {
+      TleRecord rec;
+      rec.name = "SYNTH-" + std::to_string(sat.id);
+      rec.catalog_number = 70000 + sat.id;
+      rec.intl_designator = "26001A";
+      rec.epoch_year = 2026;
+      rec.epoch_day = 187.5;
+      rec.elements = sat.elements;
+      rec.mean_motion_rev_day =
+          86400.0 / orbital_period(sat.elements);
+      const auto [l1, l2] = format_tle(rec);
+      out << rec.name << '\n' << l1 << '\n' << l2 << '\n';
+    }
+  }
+
+  const std::vector<TleRecord> catalog = load_tle_file(path);
+  std::vector<Satellite> satellites;
+  std::vector<CdmObject> metadata;
+  satellites.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    satellites.push_back(to_satellite(catalog[i], static_cast<std::uint32_t>(i)));
+    CdmObject object;
+    object.designator = catalog[i].name;
+    object.hard_body_radius_km = 0.005;  // 5 m combined-size contribution
+    object.position_sigma_km = 0.4;      // typical catalog-grade uncertainty
+    metadata.push_back(object);
+  }
+  std::printf("loaded %zu TLEs from %s\n", catalog.size(), path.c_str());
+
+  // --- 2. Precompute the ephemeris over the screening span.
+  ScreeningConfig config;
+  config.threshold_km = 5.0;
+  config.t_end = 6.0 * 3600.0;
+
+  Stopwatch watch;
+  const auto ephemeris = EphemerisPropagator::integrate(
+      satellites, config.t_begin, config.t_end, ForceModel{});
+  std::printf("integrated J2 ephemeris: %zu knots/object, %.1f MiB, %.2f s\n",
+              ephemeris.knot_count(),
+              static_cast<double>(ephemeris.memory_bytes()) / (1 << 20),
+              watch.seconds());
+
+  // --- 3. Screen against the interpolated ephemeris.
+  watch.restart();
+  const ScreeningReport report = GridScreener().screen(ephemeris, config);
+  std::printf("grid screening: %zu conjunctions from %zu candidates in %.2f s\n",
+              report.conjunctions.size(), report.stats.candidates, watch.seconds());
+
+  // --- 4. Assess and emit CDMs for the riskiest encounters.
+  auto assessments = assess_conjunctions(ephemeris, report, metadata);
+  std::sort(assessments.begin(), assessments.end(),
+            [](const ConjunctionAssessment& x, const ConjunctionAssessment& y) {
+              return x.collision_probability > y.collision_probability;
+            });
+
+  std::printf("\ntop encounters by collision probability:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, assessments.size()); ++i) {
+    const ConjunctionAssessment& a = assessments[i];
+    std::printf("\n--- CDM %zu -------------------------------------------\n", i + 1);
+    write_cdm(std::cout, a, metadata[a.conjunction.sat_a],
+              metadata[a.conjunction.sat_b]);
+  }
+  if (assessments.empty()) {
+    std::printf("(no conjunctions in this span; rerun with a larger catalog "
+                "or threshold)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "assessment/cdm.hpp"
+
+#include <iomanip>
+
+#include "assessment/probability.hpp"
+
+namespace scod {
+
+namespace {
+CdmObject object_or_default(const std::vector<CdmObject>& objects, std::uint32_t index) {
+  if (index < objects.size()) return objects[index];
+  CdmObject fallback;
+  fallback.designator = "OBJECT-" + std::to_string(index);
+  return fallback;
+}
+}  // namespace
+
+std::vector<ConjunctionAssessment> assess_conjunctions(
+    const Propagator& propagator, const ScreeningReport& report,
+    const std::vector<CdmObject>& objects) {
+  std::vector<ConjunctionAssessment> assessments;
+  assessments.reserve(report.conjunctions.size());
+  for (const Conjunction& c : report.conjunctions) {
+    ConjunctionAssessment a;
+    a.conjunction = c;
+    a.geometry = encounter_geometry(propagator, c);
+
+    const CdmObject obj_a = object_or_default(objects, c.sat_a);
+    const CdmObject obj_b = object_or_default(objects, c.sat_b);
+    a.combined_hard_body_km = obj_a.hard_body_radius_km + obj_b.hard_body_radius_km;
+    a.combined_sigma_km =
+        combined_sigma(obj_a.position_sigma_km, obj_b.position_sigma_km);
+    a.collision_probability = collision_probability_isotropic(
+        a.geometry.miss_distance, a.combined_sigma_km, a.combined_hard_body_km);
+    assessments.push_back(a);
+  }
+  return assessments;
+}
+
+void write_cdm(std::ostream& os, const ConjunctionAssessment& assessment,
+               const CdmObject& object_a, const CdmObject& object_b) {
+  const EncounterGeometry& g = assessment.geometry;
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+
+  os << "CCSDS_CDM_VERS                = 1.0\n";
+  os << "ORIGINATOR                    = SCOD\n";
+  os << "MESSAGE_FOR                   = " << object_a.designator << '\n';
+  os << std::fixed << std::setprecision(6);
+  os << "TCA                           = T+" << g.tca << " [s]\n";
+  os << "MISS_DISTANCE                 = " << g.miss_distance * 1000.0 << " [m]\n";
+  os << "RELATIVE_SPEED                = " << g.relative_speed * 1000.0 << " [m/s]\n";
+  os << "RELATIVE_POSITION_R           = " << g.miss_rtn.x * 1000.0 << " [m]\n";
+  os << "RELATIVE_POSITION_T           = " << g.miss_rtn.y * 1000.0 << " [m]\n";
+  os << "RELATIVE_POSITION_N           = " << g.miss_rtn.z * 1000.0 << " [m]\n";
+  os << "APPROACH_ANGLE                = " << g.approach_angle << " [rad]\n";
+  os << std::scientific << std::setprecision(4);
+  os << "COLLISION_PROBABILITY         = " << assessment.collision_probability << '\n';
+  os << "COLLISION_PROBABILITY_METHOD  = FOSTER-1992 (isotropic)\n";
+
+  auto object_block = [&](const char* tag, const CdmObject& obj,
+                          const StateVector& state) {
+    os << std::fixed << std::setprecision(6);
+    os << tag << "_OBJECT_DESIGNATOR   = " << obj.designator << '\n';
+    os << tag << "_HARD_BODY_RADIUS    = " << obj.hard_body_radius_km * 1000.0
+       << " [m]\n";
+    os << tag << "_POSITION_SIGMA      = " << obj.position_sigma_km * 1000.0
+       << " [m]\n";
+    os << std::setprecision(3);
+    os << tag << "_X = " << state.position.x << " [km]\n";
+    os << tag << "_Y = " << state.position.y << " [km]\n";
+    os << tag << "_Z = " << state.position.z << " [km]\n";
+    os << std::setprecision(6);
+    os << tag << "_X_DOT = " << state.velocity.x << " [km/s]\n";
+    os << tag << "_Y_DOT = " << state.velocity.y << " [km/s]\n";
+    os << tag << "_Z_DOT = " << state.velocity.z << " [km/s]\n";
+  };
+  object_block("OBJECT1", object_a, g.state_a);
+  object_block("OBJECT2", object_b, g.state_b);
+
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+}  // namespace scod

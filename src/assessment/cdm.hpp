@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "assessment/geometry.hpp"
+#include "core/report.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// Per-object metadata for a conjunction data message.
+struct CdmObject {
+  std::string designator;           ///< e.g. catalog id or name
+  double hard_body_radius_km = 0.005;  ///< combined-size contribution [km]
+  double position_sigma_km = 0.5;   ///< isotropic 1-sigma position uncertainty
+};
+
+/// One fully assessed conjunction: the screener's (pair, TCA, PCA) plus
+/// the relative geometry and the collision probability.
+struct ConjunctionAssessment {
+  Conjunction conjunction;
+  EncounterGeometry geometry;
+  double combined_hard_body_km = 0.0;
+  double combined_sigma_km = 0.0;
+  double collision_probability = 0.0;
+};
+
+/// Assesses every conjunction of a screening report: evaluates the
+/// encounter geometry at each TCA and the isotropic short-encounter
+/// collision probability from the objects' metadata. `objects` is indexed
+/// by satellite index; missing entries fall back to CdmObject defaults.
+std::vector<ConjunctionAssessment> assess_conjunctions(
+    const Propagator& propagator, const ScreeningReport& report,
+    const std::vector<CdmObject>& objects = {});
+
+/// Writes one assessment as a CCSDS-CDM-style key/value (KVN) block. The
+/// field set follows CCSDS 508.0-B-1 (TCA, MISS_DISTANCE, RELATIVE_SPEED,
+/// RTN miss components, COLLISION_PROBABILITY, per-object metadata);
+/// epoch-relative times are used since the simulation has no calendar
+/// epoch.
+void write_cdm(std::ostream& os, const ConjunctionAssessment& assessment,
+               const CdmObject& object_a, const CdmObject& object_b);
+
+}  // namespace scod

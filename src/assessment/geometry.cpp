@@ -1,0 +1,59 @@
+#include "assessment/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scod {
+
+EncounterGeometry encounter_geometry(const Propagator& propagator,
+                                     std::uint32_t sat_a, std::uint32_t sat_b,
+                                     double tca) {
+  EncounterGeometry g;
+  g.tca = tca;
+  g.state_a = propagator.state(sat_a, tca);
+  g.state_b = propagator.state(sat_b, tca);
+
+  const Vec3 miss_eci = g.state_b.position - g.state_a.position;
+  g.miss_distance = miss_eci.norm();
+  g.miss_rtn = rtn_frame(g.state_a).to_rtn(miss_eci);
+
+  g.relative_velocity_eci = g.state_b.velocity - g.state_a.velocity;
+  g.relative_speed = g.relative_velocity_eci.norm();
+
+  const double va = g.state_a.velocity.norm();
+  const double vb = g.state_b.velocity.norm();
+  if (va > 0.0 && vb > 0.0) {
+    const double c = g.state_a.velocity.dot(g.state_b.velocity) / (va * vb);
+    g.approach_angle = std::acos(std::clamp(c, -1.0, 1.0));
+  }
+  return g;
+}
+
+EncounterGeometry encounter_geometry(const Propagator& propagator,
+                                     const Conjunction& conjunction) {
+  return encounter_geometry(propagator, conjunction.sat_a, conjunction.sat_b,
+                            conjunction.tca);
+}
+
+EncounterPlane encounter_plane(const EncounterGeometry& geometry) {
+  if (geometry.relative_speed <= 0.0) {
+    throw std::invalid_argument("encounter_plane: zero relative velocity");
+  }
+  EncounterPlane plane;
+  plane.axis_z = geometry.relative_velocity_eci / geometry.relative_speed;
+
+  // Any stable in-plane basis works; seed with the axis least aligned with
+  // z to avoid degeneracy.
+  const Vec3 seed = std::abs(plane.axis_z.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  plane.axis_x = plane.axis_z.cross(seed).normalized();
+  plane.axis_y = plane.axis_z.cross(plane.axis_x);
+
+  const Vec3 miss_eci =
+      geometry.state_b.position - geometry.state_a.position;
+  plane.miss_x = plane.axis_x.dot(miss_eci);
+  plane.miss_y = plane.axis_y.dot(miss_eci);
+  return plane;
+}
+
+}  // namespace scod

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "assessment/rtn.hpp"
+#include "core/report.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// Full relative geometry of one conjunction at its TCA — what the
+/// follow-up assessment needs beyond the screener's (pair, TCA, PCA).
+struct EncounterGeometry {
+  double tca = 0.0;                ///< [s past epoch]
+  double miss_distance = 0.0;      ///< [km]
+  Vec3 miss_rtn;                   ///< miss vector of object B relative to A,
+                                   ///< in A's RTN frame at TCA [km]
+  Vec3 relative_velocity_eci;      ///< v_B - v_A at TCA [km/s]
+  double relative_speed = 0.0;     ///< [km/s]
+  /// Angle between the two velocity vectors at TCA [rad]; ~0 for tail
+  /// chases (long, slow encounters), ~pi for head-on geometry.
+  double approach_angle = 0.0;
+  StateVector state_a;             ///< object A at TCA [ECI]
+  StateVector state_b;             ///< object B at TCA [ECI]
+};
+
+/// Evaluates the relative geometry of (sat_a, sat_b) at `tca`. Both
+/// indices must be valid for the propagator.
+EncounterGeometry encounter_geometry(const Propagator& propagator,
+                                     std::uint32_t sat_a, std::uint32_t sat_b,
+                                     double tca);
+
+/// Convenience: geometry of a screener-reported conjunction.
+EncounterGeometry encounter_geometry(const Propagator& propagator,
+                                     const Conjunction& conjunction);
+
+/// The 2-D encounter ("B-plane") decomposition: the plane through object A
+/// perpendicular to the relative velocity at TCA, where the short-encounter
+/// collision-probability integral lives (Foster & Estes 1992).
+struct EncounterPlane {
+  Vec3 axis_x;   ///< in-plane unit vector [ECI]
+  Vec3 axis_y;   ///< in-plane unit vector [ECI]
+  Vec3 axis_z;   ///< unit vector along the relative velocity [ECI]
+  double miss_x = 0.0;  ///< miss-vector component along axis_x [km]
+  double miss_y = 0.0;  ///< miss-vector component along axis_y [km]
+};
+
+/// Projects the encounter onto the plane perpendicular to the relative
+/// velocity. Requires a non-zero relative speed (true for any encounter
+/// the screener reports: a zero relative speed means identical orbits).
+EncounterPlane encounter_plane(const EncounterGeometry& geometry);
+
+}  // namespace scod

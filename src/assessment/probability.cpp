@@ -1,0 +1,113 @@
+#include "assessment/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace scod {
+
+double bessel_i0(double x) {
+  x = std::abs(x);
+  if (x < 15.0) {
+    // Power series I0(x) = sum_k (x^2/4)^k / (k!)^2.
+    const double q = 0.25 * x * x;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 120; ++k) {
+      term *= q / (static_cast<double>(k) * static_cast<double>(k));
+      sum += term;
+      if (term < sum * 1e-16) break;
+    }
+    return sum;
+  }
+  // Asymptotic: I0(x) ~ e^x / sqrt(2 pi x) * (1 + 1/(8x) + 9/(128 x^2) + ...).
+  const double inv = 1.0 / x;
+  const double series =
+      1.0 + inv * (0.125 + inv * (0.0703125 + inv * 0.0732421875));
+  return std::exp(x) / std::sqrt(2.0 * kPi * x) * series;
+}
+
+namespace {
+
+/// exp(-a) * I0(b) evaluated without overflow: for large b the I0
+/// asymptotic is folded into the exponent.
+double exp_scaled_i0(double a, double b) {
+  b = std::abs(b);
+  if (b < 15.0) return std::exp(-a) * bessel_i0(b);
+  const double inv = 1.0 / b;
+  const double series =
+      1.0 + inv * (0.125 + inv * (0.0703125 + inv * 0.0732421875));
+  return std::exp(b - a) / std::sqrt(2.0 * kPi * b) * series;
+}
+
+}  // namespace
+
+double collision_probability_isotropic(double miss_distance, double sigma,
+                                       double hard_body_radius) {
+  if (sigma <= 0.0) throw std::invalid_argument("collision probability: sigma <= 0");
+  if (hard_body_radius <= 0.0) return 0.0;
+  miss_distance = std::abs(miss_distance);
+
+  // Composite Simpson over r in [0, R]; the integrand is smooth and the
+  // scaled Bessel keeps it overflow-free for any m/sigma.
+  const double inv_s2 = 1.0 / (sigma * sigma);
+  const auto integrand = [&](double r) {
+    const double a = 0.5 * (r * r + miss_distance * miss_distance) * inv_s2;
+    const double b = r * miss_distance * inv_s2;
+    return r * inv_s2 * exp_scaled_i0(a, b);
+  };
+
+  const int n = 512;  // even
+  const double h = hard_body_radius / n;
+  double sum = integrand(0.0) + integrand(hard_body_radius);
+  for (int i = 1; i < n; ++i) {
+    sum += integrand(i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double pc = sum * h / 3.0;
+  return std::clamp(pc, 0.0, 1.0);
+}
+
+double collision_probability_2d(double miss_x, double miss_y, double sigma_x,
+                                double sigma_y, double hard_body_radius) {
+  if (sigma_x <= 0.0 || sigma_y <= 0.0) {
+    throw std::invalid_argument("collision probability: sigma <= 0");
+  }
+  if (hard_body_radius <= 0.0) return 0.0;
+
+  // Polar 2-D quadrature over the disc: Simpson in r, trapezoid (periodic,
+  // spectrally accurate) in theta.
+  const int nr = 256;       // even
+  const int ntheta = 256;
+  const double hr = hard_body_radius / nr;
+  const double htheta = 2.0 * kPi / ntheta;
+
+  const double inv_2sx2 = 0.5 / (sigma_x * sigma_x);
+  const double inv_2sy2 = 0.5 / (sigma_y * sigma_y);
+  const double norm = 1.0 / (2.0 * kPi * sigma_x * sigma_y);
+
+  auto ring = [&](double r) {
+    double acc = 0.0;
+    for (int j = 0; j < ntheta; ++j) {
+      const double theta = j * htheta;
+      const double x = r * std::cos(theta) - miss_x;
+      const double y = r * std::sin(theta) - miss_y;
+      acc += std::exp(-(x * x * inv_2sx2 + y * y * inv_2sy2));
+    }
+    return acc * htheta * r;
+  };
+
+  double sum = ring(0.0) + ring(hard_body_radius);
+  for (int i = 1; i < nr; ++i) {
+    sum += ring(i * hr) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double pc = norm * sum * hr / 3.0;
+  return std::clamp(pc, 0.0, 1.0);
+}
+
+double combined_sigma(double sigma_a, double sigma_b) {
+  return std::sqrt(sigma_a * sigma_a + sigma_b * sigma_b);
+}
+
+}  // namespace scod

@@ -1,0 +1,13 @@
+#include "assessment/rtn.hpp"
+
+namespace scod {
+
+RtnFrame rtn_frame(const StateVector& state) {
+  RtnFrame frame;
+  frame.radial = state.position.normalized();
+  frame.normal = state.position.cross(state.velocity).normalized();
+  frame.transverse = frame.normal.cross(frame.radial);
+  return frame;
+}
+
+}  // namespace scod

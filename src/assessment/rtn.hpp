@@ -1,0 +1,37 @@
+#pragma once
+
+#include "orbit/frames.hpp"
+#include "orbit/state.hpp"
+
+namespace scod {
+
+/// The satellite-centred RTN (radial / transverse / normal) frame, the
+/// standard frame for expressing conjunction miss vectors: R along the
+/// position vector, N along the orbital angular momentum (cross-track),
+/// T = N x R completing the right-handed triad (along-track for
+/// near-circular orbits).
+///
+/// The screening phase (the paper's contribution) hands off to a "more
+/// detailed subsequent conjunction assessment process" (Section III);
+/// this module is that downstream stage.
+struct RtnFrame {
+  Vec3 radial;      ///< R unit vector [ECI]
+  Vec3 transverse;  ///< T unit vector [ECI]
+  Vec3 normal;      ///< N unit vector [ECI]
+
+  /// Expresses an ECI vector in RTN components.
+  Vec3 to_rtn(const Vec3& eci) const {
+    return {radial.dot(eci), transverse.dot(eci), normal.dot(eci)};
+  }
+
+  /// Expresses an RTN vector in ECI components.
+  Vec3 to_eci(const Vec3& rtn) const {
+    return radial * rtn.x + transverse * rtn.y + normal * rtn.z;
+  }
+};
+
+/// RTN frame of a satellite state. The state must have non-degenerate
+/// position and angular momentum (any bound orbit qualifies).
+RtnFrame rtn_frame(const StateVector& state);
+
+}  // namespace scod

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <utility>
+
+#include "core/config.hpp"
+
+namespace scod::detail {
+
+inline ThreadPool& pool_of(const ScreeningConfig& config) {
+  return config.pool != nullptr ? *config.pool : global_thread_pool();
+}
+
+/// Dispatches a data-parallel index space to the configured backend: the
+/// CPU thread pool, or a devicesim kernel launch (one logical thread per
+/// index — the paper's one-thread-per-tuple GPU decomposition).
+template <typename Fn>
+void execute(const ScreeningConfig& config, std::size_t n, Fn&& fn) {
+  if (config.device != nullptr) {
+    config.device->launch(n, 256, std::forward<Fn>(fn));
+  } else {
+    pool_of(config).parallel_for(n, std::forward<Fn>(fn));
+  }
+}
+
+}  // namespace scod::detail

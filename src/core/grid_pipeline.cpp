@@ -1,0 +1,249 @@
+#include "core/grid_pipeline.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "orbit/geometry.hpp"
+#include "spatial/cell.hpp"
+#include "spatial/grid_hash_set.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scod {
+
+using detail::execute;
+using detail::pool_of;
+
+namespace {
+
+/// Simulates the host->device upload of `bytes` of propagation data with
+/// real (chunked) copies so the transfer accounting reflects actual bytes.
+void simulate_upload(Device& device, DeviceBuffer<std::byte>& dst, std::size_t bytes) {
+  static constexpr std::size_t kChunk = 1 << 20;
+  std::vector<std::byte> staging(std::min(bytes, kChunk));
+  std::size_t offset = 0;
+  while (offset < bytes) {
+    const std::size_t n = std::min(kChunk, bytes - offset);
+    // The staging buffer stands in for the Kepler-solver cache slice; the
+    // copy itself and its byte count are real.
+    device.copy_to_device(dst, staging.data(), n);
+    offset += n;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+GridPipelineResult run_pipeline_impl(const Propagator& propagator,
+                                     const ScreeningConfig& config,
+                                     const GridPipelineOptions& options,
+                                     const GridRoundSink* sink) {
+  GridPipelineResult result;
+  Stopwatch alloc_watch;
+
+  const std::size_t n = propagator.size();
+  if (n < 2) return result;
+  if (!(config.t_begin < config.t_end)) {
+    throw std::invalid_argument("run_grid_pipeline: empty time span");
+  }
+
+  Device* device = config.device;
+  const std::uint64_t budget =
+      device != nullptr ? device->memory_free() : config.memory_budget;
+
+  // Sizing (Section V-B): candidate capacity from the Extra-P model, then
+  // the sample parallelism p from the remaining budget. The automatic
+  // s_ps reduction kicks in when the conjunction map alone busts the
+  // budget (the paper's Fig. 10c regime).
+  SizingRequest request;
+  request.satellites = n;
+  request.span_seconds = config.span_seconds();
+  request.seconds_per_sample = options.seconds_per_sample;
+  request.memory_budget = budget;
+
+  const AutoAdjustResult adjusted =
+      auto_adjust_sps(options.count_model, request, config.threshold_km);
+  if (!adjusted.feasible) {
+    throw std::runtime_error(
+        "run_grid_pipeline: population does not fit into the memory budget "
+        "even at 1 s sampling");
+  }
+  const double sps = adjusted.seconds_per_sample;
+  request.seconds_per_sample = sps;
+  request.candidate_capacity = adjusted.candidate_capacity;
+  result.plan = plan_samples(request);
+  result.sample_period = sps;
+  result.cell_size = options.cell_size_override > 0.0
+                         ? options.cell_size_override
+                         : grid_cell_size(config.threshold_km, sps);
+
+  const CellIndexer indexer(result.cell_size);
+  const std::size_t p = result.plan.parallel_samples;
+  const std::size_t total_steps = result.plan.total_samples;
+
+  // Step 1 (allocation): p per-step grids, the candidate set, and the
+  // per-satellite speed bounds used by the distance prefilter.
+  std::vector<GridHashSet> grids;
+  grids.reserve(p);
+  for (std::size_t g = 0; g < p; ++g) grids.emplace_back(n);
+  CandidateSet candidates(request.candidate_capacity);
+
+  std::vector<double> vmax(n);
+  pool_of(config).parallel_for(n, [&](std::size_t i) {
+    vmax[i] = max_speed(propagator.elements(i));
+  });
+
+  for (const GridHashSet& g : grids) result.grid_memory_bytes += g.memory_bytes();
+  result.candidate_memory_bytes = candidates.memory_bytes();
+
+  // Device mode: account the fixed data, grids and candidate map against
+  // the simulated device memory and model the upload of the propagation
+  // cache (the paper reports ~3% of GPU time in allocation + transfers).
+  std::optional<DeviceBuffer<std::byte>> dev_fixed, dev_grids, dev_cands;
+  if (device != nullptr) {
+    const std::size_t fixed =
+        n * (request.layout.satellite_bytes + request.layout.kepler_cache_bytes);
+    dev_fixed = device->alloc<std::byte>(fixed);
+    simulate_upload(*device, *dev_fixed, fixed);
+    dev_grids = device->alloc<std::byte>(result.grid_memory_bytes);
+    dev_cands = device->alloc<std::byte>(result.candidate_memory_bytes);
+  }
+
+  result.allocation_seconds = alloc_watch.seconds();
+
+  const std::size_t slots = grids.front().slot_count();
+  const auto full_stencil = std::span<const CellCoord>(cell_neighborhood());
+  const auto half_stencil = std::span<const CellCoord>(cell_half_neighborhood());
+  const auto offsets = options.half_stencil ? half_stencil : full_stencil;
+
+  for (std::size_t round = 0; round < result.plan.rounds; ++round) {
+    const std::size_t step0 = round * p;
+    const std::size_t steps = std::min(p, total_steps - step0);
+
+    if (round > 0) {
+      Stopwatch clear_watch;
+      pool_of(config).parallel_for(steps, [&](std::size_t g) { grids[g].clear(); },
+                                   /*grain=*/1);
+      result.allocation_seconds += clear_watch.seconds();
+    }
+
+    // Step 2a (INS): one logical thread per (sample, satellite) tuple.
+    Stopwatch ins_watch;
+    std::atomic<std::size_t> insert_failures{0};
+    execute(config, steps * n, [&](std::size_t idx) {
+      const std::size_t local = idx / n;
+      const std::size_t sat = idx % n;
+      const double t =
+          result.sample_time(step0 + local, config.t_begin, config.t_end);
+      const Vec3 pos = propagator.position(sat, t);
+      if (!grids[local].insert(indexer.key_of(pos), static_cast<std::uint32_t>(sat),
+                               pos)) {
+        insert_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    if (insert_failures.load() != 0) {
+      throw std::logic_error("run_grid_pipeline: grid hash set overflow "
+                             "(invariant violation: one entry per satellite)");
+    }
+    result.insertion_seconds += ins_watch.seconds();
+
+    // Step 2b (CD): one logical thread per (sample, slot). Retried with a
+    // grown candidate set if the Extra-P sizing underestimated.
+    Stopwatch cd_watch;
+    for (;;) {
+      std::atomic<bool> overflow{false};
+      execute(config, steps * slots, [&](std::size_t idx) {
+        const std::size_t local = idx / slots;
+        const std::size_t slot = idx % slots;
+        const GridHashSet& grid = grids[local];
+        const std::uint64_t key = grid.slot_key(slot);
+        if (key == kEmptySlotKey) return;
+
+        const std::uint32_t step = static_cast<std::uint32_t>(step0 + local);
+        const double prefilter_base = config.threshold_km;
+        const double half_sps = 0.5 * result.sample_period;
+        const CellCoord coord = indexer.unpack(key);
+        const std::uint32_t head = grid.slot_head(slot);
+
+        for (const CellCoord& off : offsets) {
+          const bool self = (off.x == 0 && off.y == 0 && off.z == 0);
+          std::uint32_t other_head;
+          if (self) {
+            other_head = head;
+          } else {
+            const CellCoord nc{coord.x + off.x, coord.y + off.y, coord.z + off.z};
+            other_head = grid.find(indexer.pack(nc));
+            if (other_head == kNoEntry) continue;
+          }
+          for (std::uint32_t ea = head; ea != kNoEntry; ea = grid.entry(ea).next) {
+            const GridEntry& a = grid.entry(ea);
+            for (std::uint32_t eb = self ? a.next : other_head; eb != kNoEntry;
+                 eb = grid.entry(eb).next) {
+              const GridEntry& b = grid.entry(eb);
+              if (a.satellite == b.satellite) continue;
+              if (options.distance_prefilter) {
+                // A pair farther apart than d + (v_max_a + v_max_b) * s/2
+                // cannot reach the threshold closer than half a sample from
+                // this step; the step nearest its minimum keeps it.
+                const double cutoff = prefilter_base +
+                    half_sps * (vmax[a.satellite] + vmax[b.satellite]);
+                if ((a.position - b.position).norm2() > cutoff * cutoff) continue;
+              }
+              if (candidates.insert(a.satellite, b.satellite, step) ==
+                  CandidateSet::Insert::kFull) {
+                overflow.store(true, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      });
+      if (!overflow.load()) break;
+      candidates.grow();
+      ++result.candidate_set_growths;
+      if (device != nullptr) {
+        dev_cands.reset();  // release before re-accounting the doubled map
+        dev_cands = device->alloc<std::byte>(candidates.memory_bytes());
+      }
+    }
+    result.detection_seconds += cd_watch.seconds();
+
+    // Streaming mode: hand this round's candidates over and recycle the
+    // set. A (pair, step) key can only be produced by the round owning
+    // that step, so per-round draining changes nothing semantically.
+    if (sink != nullptr) {
+      std::vector<Candidate> drained = candidates.drain();
+      result.total_candidates += drained.size();
+      candidates.clear();
+      (*sink)(round, std::move(drained), result);
+    }
+  }
+
+  result.candidate_memory_bytes = candidates.memory_bytes();
+  if (sink == nullptr) {
+    result.candidates = candidates.drain();
+    result.total_candidates = result.candidates.size();
+  }
+  return result;
+}
+
+}  // namespace
+
+GridPipelineResult run_grid_pipeline(const Propagator& propagator,
+                                     const ScreeningConfig& config,
+                                     const GridPipelineOptions& options) {
+  return run_pipeline_impl(propagator, config, options, nullptr);
+}
+
+GridPipelineResult run_grid_pipeline_streaming(const Propagator& propagator,
+                                               const ScreeningConfig& config,
+                                               const GridPipelineOptions& options,
+                                               const GridRoundSink& sink) {
+  return run_pipeline_impl(propagator, config, options, &sink);
+}
+
+}  // namespace scod

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "model/conjunction_model.hpp"
+#include "model/sizing.hpp"
+#include "propagation/propagator.hpp"
+#include "spatial/conjunction_set.hpp"
+
+namespace scod {
+
+/// Options of the shared grid front-end (steps 1-2 of Section III: memory
+/// allocation, parallel propagation + insertion, parallel candidate
+/// detection).
+struct GridPipelineOptions {
+  /// Sampling period s_ps [s]; the cell size follows from Eq. (1).
+  double seconds_per_sample = 4.0;
+  /// Sizing model for the conjunction hash map (Eq. 3 for grid, Eq. 4 for
+  /// hybrid); the set grows and the affected round retries if it proves
+  /// too small for the actual population.
+  ConjunctionCountModel count_model = ConjunctionCountModel::paper_grid();
+  /// Candidate pairs farther apart than threshold + (v_max_a + v_max_b) *
+  /// s_ps / 2 at the sample cannot dip below the threshold near it; when
+  /// true they are dropped during detection instead of being refined.
+  /// Purely an optimization — it never changes the reported conjunctions.
+  bool distance_prefilter = true;
+  /// Scan only the 13 forward neighbours instead of all 26 (ablation; the
+  /// paper scans the full neighbourhood and deduplicates).
+  bool half_stencil = false;
+  /// Overrides the Eq. (1) cell size [km] when positive. ONLY for the
+  /// worst-case ablation (bench_eq1_cellsize): cells smaller than Eq. (1)
+  /// void the no-skip guarantee of Fig. 4.
+  double cell_size_override = 0.0;
+};
+
+/// Everything the grid front-end produced for the refinement/filter stages.
+struct GridPipelineResult {
+  std::vector<Candidate> candidates;  ///< distinct (pair, step) candidates
+                                      ///< (empty in streaming mode)
+  std::size_t total_candidates = 0;   ///< count across all rounds
+  double cell_size = 0.0;             ///< g_c [km]
+  double sample_period = 0.0;         ///< s_ps actually used (auto-adjusted)
+  SizingPlan plan;
+  std::size_t candidate_set_growths = 0;
+  std::uint64_t grid_memory_bytes = 0;
+  std::uint64_t candidate_memory_bytes = 0;
+  double allocation_seconds = 0.0;
+  double insertion_seconds = 0.0;
+  double detection_seconds = 0.0;
+
+  /// Wall-clock time of the sample step with global index `step`.
+  double sample_time(std::size_t step, double t_begin, double t_end) const {
+    const double t = t_begin + static_cast<double>(step) * sample_period;
+    return t < t_end ? t : t_end;
+  }
+};
+
+/// Runs the grid front-end over the whole span: plans the sample
+/// parallelism from the memory budget (device memory when config.device is
+/// set), then for each round propagates all satellites into the per-step
+/// grids and scans every occupied cell plus its neighbourhood for
+/// candidate pairs, deduplicated in the lock-free candidate set.
+///
+/// Throws std::runtime_error when even a single grid does not fit into the
+/// memory budget.
+GridPipelineResult run_grid_pipeline(const Propagator& propagator,
+                                     const ScreeningConfig& config,
+                                     const GridPipelineOptions& options);
+
+/// Per-round candidate sink for streaming consumption. Receives the round
+/// index, the candidates detected in that round (moved), and the pipeline
+/// result as populated so far (cell_size, sample_period and plan are final
+/// before the first round). A (pair, step) key can only occur in the round
+/// owning that step, so draining per round yields exactly the same
+/// candidate multiset as accumulating to the end.
+using GridRoundSink = std::function<void(
+    std::size_t round, std::vector<Candidate>&& candidates,
+    const GridPipelineResult& pipeline)>;
+
+/// Streaming variant of run_grid_pipeline: the candidate set is drained
+/// into `sink` and cleared after every round, so memory stays bounded by
+/// one round's activity regardless of the span length. The returned
+/// result's `candidates` vector is empty; counters cover the whole run.
+GridPipelineResult run_grid_pipeline_streaming(const Propagator& propagator,
+                                               const ScreeningConfig& config,
+                                               const GridPipelineOptions& options,
+                                               const GridRoundSink& sink);
+
+}  // namespace scod

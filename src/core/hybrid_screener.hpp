@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+
+#include "core/config.hpp"
+#include "core/grid_pipeline.hpp"
+#include "core/report.hpp"
+#include "orbit/elements.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// The hybrid conjunction-detection variant (Section III): the same grid
+/// front-end, but sampled less frequently (larger cells), with the
+/// candidate pairs passed through the classical orbital filter chain —
+/// apogee/perigee overlap, coplanarity classification, node-miss (orbit
+/// path) check and the node time-window filter — before the Brent
+/// refinement. "The additional checks reduce the number of pairs we have
+/// to examine for their PCAs and TCAs, so we sample less frequently ...
+/// effectively trading time for space."
+class HybridScreener {
+ public:
+  /// Default sampling period [s]; four times the grid variant's, i.e.
+  /// four-times-fewer sample steps with correspondingly larger cells.
+  static constexpr double kDefaultSecondsPerSample = 16.0;
+
+  explicit HybridScreener(GridPipelineOptions options = default_options());
+
+  static GridPipelineOptions default_options();
+
+  ScreeningReport screen(std::span<const Satellite> satellites,
+                         const ScreeningConfig& config) const;
+
+  ScreeningReport screen(const Propagator& propagator,
+                         const ScreeningConfig& config) const;
+
+ private:
+  GridPipelineOptions options_;
+};
+
+}  // namespace scod

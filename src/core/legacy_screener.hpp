@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "orbit/elements.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// The traditional deterministic all-on-all baseline the paper measures
+/// against ("legacy", [45]): every pair of satellites is pushed through a
+/// chain of orbital filters — apogee/perigee, coplanarity, orbit-path /
+/// node-miss, node time windows — and the survivors get a Brent TCA/PCA
+/// search. Deliberately single-threaded, like the paper's numba-JIT Python
+/// baseline, so the quadratic pair loop is undiluted.
+class LegacyScreener {
+ public:
+  struct Options {
+    /// Sampling step of the dense encounter scan used for coplanar pairs,
+    /// where the node-window construction degenerates [s].
+    double dense_scan_step = 16.0;
+  };
+
+  LegacyScreener();
+  explicit LegacyScreener(Options options);
+
+  ScreeningReport screen(std::span<const Satellite> satellites,
+                         const ScreeningConfig& config) const;
+
+  ScreeningReport screen(const Propagator& propagator,
+                         const ScreeningConfig& config) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace scod

@@ -1,0 +1,79 @@
+#include "core/partitioned.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace scod {
+
+ScreeningReport partitioned_screen(std::span<const Satellite> satellites,
+                                   const ScreeningConfig& config, Variant variant,
+                                   std::size_t partitions) {
+  if (partitions == 0) throw std::invalid_argument("partitioned_screen: 0 partitions");
+  const std::size_t n = satellites.size();
+
+  // Contiguous block decomposition; block b owns indices
+  // [b * n / partitions, (b+1) * n / partitions).
+  auto block_begin = [&](std::size_t b) { return b * n / partitions; };
+  auto block_of = [&](std::uint32_t index) {
+    // Blocks are contiguous and near-equal; a short scan is fine for the
+    // partition counts this harness targets.
+    for (std::size_t b = 0; b < partitions; ++b) {
+      if (index < block_begin(b + 1)) return b;
+    }
+    return partitions - 1;
+  };
+
+  ScreeningReport merged;
+  std::vector<Conjunction> all;
+
+  for (std::size_t bi = 0; bi < partitions; ++bi) {
+    for (std::size_t bj = bi; bj < partitions; ++bj) {
+      // The job's working set: block bi plus (for cross jobs) block bj,
+      // with a mapping from job-local indices back to global ones.
+      std::vector<Satellite> subset;
+      std::vector<std::uint32_t> global_index;
+      auto add_block = [&](std::size_t b) {
+        for (std::size_t k = block_begin(b); k < block_begin(b + 1); ++k) {
+          Satellite sat = satellites[k];
+          sat.id = static_cast<std::uint32_t>(subset.size());
+          subset.push_back(sat);
+          global_index.push_back(static_cast<std::uint32_t>(k));
+        }
+      };
+      add_block(bi);
+      if (bj != bi) add_block(bj);
+      if (subset.size() < 2) continue;
+
+      const ScreeningReport part = screen(subset, config, variant);
+      merged.timings.allocation += part.timings.allocation;
+      merged.timings.insertion += part.timings.insertion;
+      merged.timings.detection += part.timings.detection;
+      merged.timings.filtering += part.timings.filtering;
+      merged.timings.refinement += part.timings.refinement;
+      merged.stats.candidates += part.stats.candidates;
+      merged.stats.refinements += part.stats.refinements;
+      merged.stats.pairs_examined += part.stats.pairs_examined;
+
+      for (const Conjunction& c : part.conjunctions) {
+        Conjunction global = c;
+        global.sat_a = global_index[c.sat_a];
+        global.sat_b = global_index[c.sat_b];
+        if (global.sat_a > global.sat_b) std::swap(global.sat_a, global.sat_b);
+        // Keep only the combination this job owns: both in bi for the
+        // diagonal job, one in each block for cross jobs — every global
+        // pair is then reported by exactly one job.
+        const std::size_t ba = block_of(global.sat_a);
+        const std::size_t bb = block_of(global.sat_b);
+        const bool owned = (bi == bj) ? (ba == bi && bb == bi)
+                                      : ((ba == bi && bb == bj) || (ba == bj && bb == bi));
+        if (owned) all.push_back(global);
+      }
+    }
+  }
+
+  merged.conjunctions = merge_conjunctions(std::move(all), 0.0);
+  merged.stats.satellites = n;
+  return merged;
+}
+
+}  // namespace scod

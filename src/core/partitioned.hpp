@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/screen.hpp"
+#include "orbit/elements.hpp"
+
+namespace scod {
+
+/// Population-partitioned screening — the distribution strategy of the
+/// related work (Coppola et al. 2010 [24]: "dividing the object
+/// population" across processors/machines). The satellites are split into
+/// `partitions` blocks; every unordered block pair (i, j), i <= j, is
+/// screened independently on the union of the two blocks, and only
+/// conjunctions crossing the (i, j) combination are kept, so the merged
+/// result equals a direct screening of the whole population (verified by
+/// test). Each block-pair job is an independent unit of work that could
+/// run on a different machine; here they run sequentially, which makes
+/// this a correctness harness for the strategy, not a speedup.
+///
+/// Reported satellite identifiers are indices into `satellites`, exactly
+/// as with screen(). Timings/stats are summed over the block-pair jobs.
+ScreeningReport partitioned_screen(std::span<const Satellite> satellites,
+                                   const ScreeningConfig& config, Variant variant,
+                                   std::size_t partitions);
+
+}  // namespace scod

@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+namespace scod {
+
+void sort_conjunctions(std::vector<Conjunction>& conjunctions) {
+  std::sort(conjunctions.begin(), conjunctions.end(),
+            [](const Conjunction& x, const Conjunction& y) {
+              if (x.sat_a != y.sat_a) return x.sat_a < y.sat_a;
+              if (x.sat_b != y.sat_b) return x.sat_b < y.sat_b;
+              return x.tca < y.tca;
+            });
+}
+
+std::vector<Conjunction> merge_conjunctions(std::vector<Conjunction> conjunctions,
+                                            double time_tolerance) {
+  sort_conjunctions(conjunctions);
+  std::vector<Conjunction> merged;
+  merged.reserve(conjunctions.size());
+  for (const Conjunction& c : conjunctions) {
+    if (!merged.empty() && merged.back().sat_a == c.sat_a &&
+        merged.back().sat_b == c.sat_b && c.tca - merged.back().tca <= time_tolerance) {
+      if (c.pca < merged.back().pca) {
+        merged.back().tca = c.tca;
+        merged.back().pca = c.pca;
+      }
+    } else {
+      merged.push_back(c);
+    }
+  }
+  return merged;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ScreeningReport::colliding_pairs()
+    const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(conjunctions.size());
+  for (const Conjunction& c : conjunctions) pairs.emplace_back(c.sat_a, c.sat_b);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+PairSetDiff compare_pair_sets(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& first,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& second) {
+  // Inputs are sorted-unique (colliding_pairs() guarantees it).
+  PairSetDiff diff;
+  std::size_t i = 0, j = 0;
+  while (i < first.size() && j < second.size()) {
+    if (first[i] == second[j]) {
+      ++diff.common;
+      ++i;
+      ++j;
+    } else if (first[i] < second[j]) {
+      ++diff.only_in_first;
+      ++i;
+    } else {
+      ++diff.only_in_second;
+      ++j;
+    }
+  }
+  diff.only_in_first += first.size() - i;
+  diff.only_in_second += second.size() - j;
+  return diff;
+}
+
+}  // namespace scod

@@ -1,0 +1,20 @@
+#include "filters/apogee_perigee.hpp"
+
+#include <algorithm>
+
+#include "orbit/geometry.hpp"
+
+namespace scod {
+
+double radial_band_gap(const KeplerElements& a, const KeplerElements& b) {
+  const double highest_perigee = std::max(perigee_radius(a), perigee_radius(b));
+  const double lowest_apogee = std::min(apogee_radius(a), apogee_radius(b));
+  return highest_perigee - lowest_apogee;
+}
+
+bool apogee_perigee_overlap(const KeplerElements& a, const KeplerElements& b,
+                            double threshold_km) {
+  return radial_band_gap(a, b) <= threshold_km;
+}
+
+}  // namespace scod

@@ -1,0 +1,11 @@
+#include "filters/coplanarity.hpp"
+
+#include "orbit/geometry.hpp"
+
+namespace scod {
+
+bool are_coplanar(const KeplerElements& a, const KeplerElements& b, double tolerance) {
+  return plane_angle(a, b) < tolerance;
+}
+
+}  // namespace scod

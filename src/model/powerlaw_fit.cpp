@@ -1,0 +1,135 @@
+#include "model/powerlaw_fit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace scod {
+
+double PowerLawFit::predict(const std::vector<double>& inputs) const {
+  double value = coefficient;
+  for (std::size_t i = 0; i < exponents.size(); ++i) {
+    value *= std::pow(inputs[i], exponents[i]);
+  }
+  return value;
+}
+
+std::vector<double> extrap_exponent_grid() {
+  return {0.0,       1.0 / 4.0, 1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0, 3.0 / 4.0, 1.0,
+          5.0 / 4.0, 4.0 / 3.0, 3.0 / 2.0, 5.0 / 3.0, 7.0 / 4.0, 2.0,       9.0 / 4.0,
+          7.0 / 3.0, 5.0 / 2.0, 8.0 / 3.0, 11.0 / 4.0, 3.0};
+}
+
+namespace {
+
+struct SearchState {
+  const std::vector<std::vector<double>>* log_inputs;  // [obs][input]
+  const std::vector<double>* log_outputs;
+  const std::vector<std::vector<double>>* candidates;
+  std::vector<double> exponents;
+  std::vector<double> best_exponents;
+  double best_rss = std::numeric_limits<double>::infinity();
+  double best_log_k = 0.0;
+};
+
+void search(SearchState& state, std::size_t input) {
+  if (input == state.candidates->size()) {
+    // With exponents fixed, the optimal log-coefficient is the mean
+    // residual; evaluate the RSS for this combination.
+    const auto& log_inputs = *state.log_inputs;
+    const auto& log_outputs = *state.log_outputs;
+    const std::size_t n = log_outputs.size();
+
+    double mean_resid = 0.0;
+    for (std::size_t o = 0; o < n; ++o) {
+      double model = 0.0;
+      for (std::size_t i = 0; i < state.exponents.size(); ++i) {
+        model += state.exponents[i] * log_inputs[o][i];
+      }
+      mean_resid += log_outputs[o] - model;
+    }
+    mean_resid /= static_cast<double>(n);
+
+    double rss = 0.0;
+    for (std::size_t o = 0; o < n; ++o) {
+      double model = mean_resid;
+      for (std::size_t i = 0; i < state.exponents.size(); ++i) {
+        model += state.exponents[i] * log_inputs[o][i];
+      }
+      const double r = log_outputs[o] - model;
+      rss += r * r;
+    }
+    if (rss < state.best_rss) {
+      state.best_rss = rss;
+      state.best_exponents = state.exponents;
+      state.best_log_k = mean_resid;
+    }
+    return;
+  }
+  for (double candidate : (*state.candidates)[input]) {
+    state.exponents[input] = candidate;
+    search(state, input + 1);
+  }
+}
+
+}  // namespace
+
+PowerLawFit fit_power_law(const std::vector<FitObservation>& observations,
+                          const std::vector<std::vector<double>>& exponent_candidates) {
+  if (observations.empty()) throw std::invalid_argument("fit_power_law: no observations");
+  const std::size_t input_count = exponent_candidates.size();
+
+  std::vector<std::vector<double>> log_inputs;
+  std::vector<double> log_outputs;
+  log_inputs.reserve(observations.size());
+  log_outputs.reserve(observations.size());
+  for (const FitObservation& obs : observations) {
+    if (obs.inputs.size() != input_count) {
+      throw std::invalid_argument("fit_power_law: input arity mismatch");
+    }
+    if (obs.output <= 0.0) continue;  // log-space fit: skip zero observations
+    std::vector<double> li(input_count);
+    bool ok = true;
+    for (std::size_t i = 0; i < input_count; ++i) {
+      if (obs.inputs[i] <= 0.0) {
+        ok = false;
+        break;
+      }
+      li[i] = std::log(obs.inputs[i]);
+    }
+    if (!ok) continue;
+    log_inputs.push_back(std::move(li));
+    log_outputs.push_back(std::log(obs.output));
+  }
+  if (log_outputs.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 positive observations");
+  }
+
+  SearchState state;
+  state.log_inputs = &log_inputs;
+  state.log_outputs = &log_outputs;
+  state.candidates = &exponent_candidates;
+  state.exponents.resize(input_count, 0.0);
+  search(state, 0);
+
+  PowerLawFit fit;
+  fit.coefficient = std::exp(state.best_log_k);
+  fit.exponents = state.best_exponents;
+
+  // R^2 in log space against the mean-output model.
+  double mean_y = 0.0;
+  for (double y : log_outputs) mean_y += y;
+  mean_y /= static_cast<double>(log_outputs.size());
+  double tss = 0.0;
+  for (double y : log_outputs) tss += (y - mean_y) * (y - mean_y);
+  fit.r_squared = tss > 0.0 ? 1.0 - state.best_rss / tss : 1.0;
+  return fit;
+}
+
+PowerLawFit fit_power_law(const std::vector<FitObservation>& observations,
+                          std::size_t input_count) {
+  return fit_power_law(observations,
+                       std::vector<std::vector<double>>(input_count, extrap_exponent_grid()));
+}
+
+}  // namespace scod

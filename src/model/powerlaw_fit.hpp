@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scod {
+
+/// One measurement for the performance-model fit: the values of the model
+/// inputs (e.g. n, s_ps, t, d) and the observed output (candidate count,
+/// runtime, ...). All values must be strictly positive — the fit works in
+/// log space.
+struct FitObservation {
+  std::vector<double> inputs;
+  double output = 0.0;
+};
+
+/// A fitted multiplicative power-law model
+/// output = coefficient * prod_i inputs[i]^exponents[i].
+struct PowerLawFit {
+  double coefficient = 0.0;
+  std::vector<double> exponents;
+  double r_squared = 0.0;  ///< in log space
+
+  double predict(const std::vector<double>& inputs) const;
+};
+
+/// Default exponent search grid: Extra-P's performance-model normal form
+/// uses rational exponents with small denominators; this grid covers
+/// multiples of 1/4 and 1/3 in [0, 3], which contains all exponents the
+/// paper reports in Eqs. (3)-(4).
+std::vector<double> extrap_exponent_grid();
+
+/// Fits the power-law model by exhaustive search over the per-input
+/// candidate exponent grids (the Extra-P approach for this model family):
+/// for each exponent combination the optimal coefficient has a closed form
+/// in log space; the combination with the smallest residual sum of squares
+/// wins. Throws std::invalid_argument on empty/degenerate input.
+PowerLawFit fit_power_law(const std::vector<FitObservation>& observations,
+                          const std::vector<std::vector<double>>& exponent_candidates);
+
+/// Convenience overload: the same candidate grid for every input.
+PowerLawFit fit_power_law(const std::vector<FitObservation>& observations,
+                          std::size_t input_count);
+
+}  // namespace scod

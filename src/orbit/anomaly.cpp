@@ -1,0 +1,47 @@
+#include "orbit/anomaly.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace scod {
+
+double wrap_two_pi(double angle) {
+  angle = std::fmod(angle, kTwoPi);
+  if (angle < 0.0) angle += kTwoPi;
+  return angle;
+}
+
+double wrap_pi(double angle) {
+  angle = wrap_two_pi(angle);
+  if (angle > kPi) angle -= kTwoPi;
+  return angle;
+}
+
+double eccentric_to_true(double eccentric_anomaly, double eccentricity) {
+  // tan(f/2) = sqrt((1+e)/(1-e)) * tan(E/2); the atan2 form below is
+  // quadrant-safe for all E.
+  const double e = eccentricity;
+  const double cos_e = std::cos(eccentric_anomaly);
+  const double sin_e = std::sin(eccentric_anomaly);
+  const double f = std::atan2(std::sqrt(1.0 - e * e) * sin_e, cos_e - e);
+  return wrap_two_pi(f);
+}
+
+double true_to_eccentric(double true_anomaly, double eccentricity) {
+  const double e = eccentricity;
+  const double cos_f = std::cos(true_anomaly);
+  const double sin_f = std::sin(true_anomaly);
+  const double big_e = std::atan2(std::sqrt(1.0 - e * e) * sin_f, cos_f + e);
+  return wrap_two_pi(big_e);
+}
+
+double eccentric_to_mean(double eccentric_anomaly, double eccentricity) {
+  return wrap_two_pi(eccentric_anomaly - eccentricity * std::sin(eccentric_anomaly));
+}
+
+double true_to_mean(double true_anomaly, double eccentricity) {
+  return eccentric_to_mean(true_to_eccentric(true_anomaly, eccentricity), eccentricity);
+}
+
+}  // namespace scod

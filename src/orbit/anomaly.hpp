@@ -1,0 +1,28 @@
+#pragma once
+
+namespace scod {
+
+/// Conversions between the three anomalies of an elliptic orbit.
+/// The iterative direction (mean -> eccentric, Kepler's equation) lives in
+/// src/propagation/ where the paper's Contour solver and the Newton
+/// baseline are implemented; this header holds the closed-form directions.
+
+/// Wraps an angle into [0, 2*pi).
+double wrap_two_pi(double angle);
+
+/// Wraps an angle into (-pi, pi].
+double wrap_pi(double angle);
+
+/// Eccentric -> true anomaly.
+double eccentric_to_true(double eccentric_anomaly, double eccentricity);
+
+/// True -> eccentric anomaly.
+double true_to_eccentric(double true_anomaly, double eccentricity);
+
+/// Eccentric -> mean anomaly (Kepler's equation, forward direction).
+double eccentric_to_mean(double eccentric_anomaly, double eccentricity);
+
+/// True -> mean anomaly (composition of the two above).
+double true_to_mean(double true_anomaly, double eccentricity);
+
+}  // namespace scod

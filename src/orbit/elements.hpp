@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace scod {
+
+/// Classical Keplerian orbital elements (Table II of the paper).
+///
+/// Angles in radians, lengths in km. `mean_anomaly` is the mean anomaly at
+/// the simulation epoch t = 0; the propagator advances it with the mean
+/// motion and solves Kepler's equation to recover the position.
+struct KeplerElements {
+  double semi_major_axis = 0.0;  ///< a [km]
+  double eccentricity = 0.0;     ///< e, in [0, 1) (elliptic orbits only)
+  double inclination = 0.0;      ///< i [rad], in [0, pi]
+  double raan = 0.0;             ///< right ascension of ascending node [rad]
+  double arg_perigee = 0.0;      ///< argument of perigee omega [rad]
+  double mean_anomaly = 0.0;     ///< M at epoch [rad]
+
+  constexpr bool operator==(const KeplerElements&) const = default;
+};
+
+/// One tracked object: an id plus its osculating elements at epoch.
+/// "Satellite" follows the paper's terminology; debris objects use the same
+/// representation.
+struct Satellite {
+  std::uint32_t id = 0;
+  KeplerElements elements;
+};
+
+}  // namespace scod

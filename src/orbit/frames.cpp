@@ -1,0 +1,30 @@
+#include "orbit/frames.hpp"
+
+#include <cmath>
+
+namespace scod {
+
+Mat3 perifocal_to_eci(double inclination, double raan, double arg_perigee) {
+  const double ci = std::cos(inclination), si = std::sin(inclination);
+  const double co = std::cos(raan), so = std::sin(raan);
+  const double cw = std::cos(arg_perigee), sw = std::sin(arg_perigee);
+
+  Mat3 r;
+  r.m[0][0] = co * cw - so * sw * ci;
+  r.m[0][1] = -co * sw - so * cw * ci;
+  r.m[0][2] = so * si;
+  r.m[1][0] = so * cw + co * sw * ci;
+  r.m[1][1] = -so * sw + co * cw * ci;
+  r.m[1][2] = -co * si;
+  r.m[2][0] = sw * si;
+  r.m[2][1] = cw * si;
+  r.m[2][2] = ci;
+  return r;
+}
+
+Vec3 orbit_normal(double inclination, double raan) {
+  const double si = std::sin(inclination);
+  return {std::sin(raan) * si, -std::cos(raan) * si, std::cos(inclination)};
+}
+
+}  // namespace scod

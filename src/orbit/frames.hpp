@@ -1,0 +1,34 @@
+#pragma once
+
+#include "orbit/elements.hpp"
+#include "util/vec3.hpp"
+
+namespace scod {
+
+/// Row-major 3x3 rotation matrix.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Mat3 transposed() const {
+    Mat3 t;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) t.m[r][c] = m[c][r];
+    return t;
+  }
+};
+
+/// Rotation from the perifocal frame (x toward perigee, z along the orbit
+/// normal) to the Earth-centered inertial frame, i.e. the composition
+/// R3(-raan) * R1(-i) * R3(-argp). Fig. 8 of the paper shows the angles.
+Mat3 perifocal_to_eci(double inclination, double raan, double arg_perigee);
+
+/// Unit normal of the orbital plane in ECI coordinates.
+Vec3 orbit_normal(double inclination, double raan);
+
+}  // namespace scod

@@ -1,0 +1,92 @@
+#include "orbit/state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/frames.hpp"
+#include "orbit/geometry.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+StateVector state_at_true_anomaly(const KeplerElements& el, double true_anomaly) {
+  const double p = semi_latus_rectum(el);
+  const double r = p / (1.0 + el.eccentricity * std::cos(true_anomaly));
+  const double cf = std::cos(true_anomaly);
+  const double sf = std::sin(true_anomaly);
+
+  const Vec3 pos_pf{r * cf, r * sf, 0.0};
+  const double vf = std::sqrt(kMuEarth / p);
+  const Vec3 vel_pf{-vf * sf, vf * (el.eccentricity + cf), 0.0};
+
+  const Mat3 rot = perifocal_to_eci(el.inclination, el.raan, el.arg_perigee);
+  return {rot * pos_pf, rot * vel_pf};
+}
+
+Vec3 position_at_true_anomaly(const KeplerElements& el, double true_anomaly) {
+  const double p = semi_latus_rectum(el);
+  const double r = p / (1.0 + el.eccentricity * std::cos(true_anomaly));
+  const Vec3 pos_pf{r * std::cos(true_anomaly), r * std::sin(true_anomaly), 0.0};
+  return perifocal_to_eci(el.inclination, el.raan, el.arg_perigee) * pos_pf;
+}
+
+KeplerElements elements_from_state(const StateVector& state) {
+  const Vec3& r_vec = state.position;
+  const Vec3& v_vec = state.velocity;
+  const double r = r_vec.norm();
+  const double v2 = v_vec.norm2();
+
+  const Vec3 h_vec = r_vec.cross(v_vec);
+  const double h = h_vec.norm();
+  const Vec3 n_vec = Vec3{0, 0, 1}.cross(h_vec);  // node line
+  const double n = n_vec.norm();
+
+  const Vec3 e_vec = (r_vec * (v2 - kMuEarth / r) - v_vec * r_vec.dot(v_vec)) / kMuEarth;
+  const double e = e_vec.norm();
+
+  const double energy = v2 / 2.0 - kMuEarth / r;
+  KeplerElements el;
+  el.semi_major_axis = -kMuEarth / (2.0 * energy);
+  el.eccentricity = e;
+  el.inclination = std::acos(std::clamp(h_vec.z / h, -1.0, 1.0));
+
+  constexpr double kTiny = 1e-11;
+
+  if (n > kTiny) {
+    el.raan = std::acos(std::clamp(n_vec.x / n, -1.0, 1.0));
+    if (n_vec.y < 0.0) el.raan = kTwoPi - el.raan;
+  } else {
+    el.raan = 0.0;  // equatorial orbit: node undefined, use vernal equinox
+  }
+
+  if (e > kTiny && n > kTiny) {
+    el.arg_perigee = std::acos(std::clamp(n_vec.dot(e_vec) / (n * e), -1.0, 1.0));
+    if (e_vec.z < 0.0) el.arg_perigee = kTwoPi - el.arg_perigee;
+  } else if (e > kTiny) {
+    // Equatorial elliptic: measure perigee from the x axis.
+    el.arg_perigee = std::acos(std::clamp(e_vec.x / e, -1.0, 1.0));
+    if (e_vec.y < 0.0) el.arg_perigee = kTwoPi - el.arg_perigee;
+  } else {
+    el.arg_perigee = 0.0;  // circular: perigee undefined
+  }
+
+  double true_anomaly;
+  if (e > kTiny) {
+    true_anomaly = std::acos(std::clamp(e_vec.dot(r_vec) / (e * r), -1.0, 1.0));
+    if (r_vec.dot(v_vec) < 0.0) true_anomaly = kTwoPi - true_anomaly;
+  } else if (n > kTiny) {
+    // Circular inclined: argument of latitude from the ascending node.
+    true_anomaly = std::acos(std::clamp(n_vec.dot(r_vec) / (n * r), -1.0, 1.0));
+    if (r_vec.z < 0.0) true_anomaly = kTwoPi - true_anomaly;
+  } else {
+    // Circular equatorial: true longitude from the x axis.
+    true_anomaly = std::acos(std::clamp(r_vec.x / r, -1.0, 1.0));
+    if (r_vec.y < 0.0) true_anomaly = kTwoPi - true_anomaly;
+  }
+
+  el.mean_anomaly = true_to_mean(true_anomaly, e);
+  return el;
+}
+
+}  // namespace scod

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "orbit/elements.hpp"
+#include "util/vec3.hpp"
+
+namespace scod {
+
+/// Cartesian state in the Earth-centered inertial frame.
+struct StateVector {
+  Vec3 position;  ///< [km]
+  Vec3 velocity;  ///< [km/s]
+};
+
+/// Position and velocity at a given true anomaly. This is the closed-form
+/// part of propagation; solving Kepler's equation for the anomaly is the
+/// propagator's job (src/propagation/).
+StateVector state_at_true_anomaly(const KeplerElements& el, double true_anomaly);
+
+/// Position only (saves the velocity work in the insertion hot loop).
+Vec3 position_at_true_anomaly(const KeplerElements& el, double true_anomaly);
+
+/// Recovers Keplerian elements from a Cartesian state (RV -> COE). Used for
+/// round-trip validation and for ingesting externally supplied states.
+/// For near-circular or near-equatorial orbits the angle decomposition is
+/// degenerate; this implementation follows the usual convention of
+/// measuring the undefined angles from the reference directions.
+KeplerElements elements_from_state(const StateVector& state);
+
+}  // namespace scod

@@ -1,0 +1,34 @@
+#include "parallel/device.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace scod {
+
+Device::Device(DeviceProperties props, ThreadPool* pool)
+    : props_(std::move(props)), pool_(pool != nullptr ? pool : &global_thread_pool()) {}
+
+void Device::reset_stats() {
+  const auto in_use = stats_.bytes_in_use;
+  stats_ = DeviceStats{};
+  stats_.bytes_in_use = in_use;
+  stats_.bytes_peak = in_use;
+}
+
+void Device::account_alloc(std::uint64_t bytes) {
+  if (bytes > memory_free()) {
+    throw DeviceOutOfMemory("devicesim: allocation of " + std::to_string(bytes) +
+                            " B exceeds free device memory (" +
+                            std::to_string(memory_free()) + " B of " +
+                            std::to_string(props_.memory_bytes) + " B)");
+  }
+  stats_.allocations += 1;
+  stats_.bytes_in_use += bytes;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_in_use);
+}
+
+void Device::account_free(std::uint64_t bytes) {
+  stats_.frees += 1;
+  stats_.bytes_in_use -= std::min(stats_.bytes_in_use, bytes);
+}
+
+}  // namespace scod

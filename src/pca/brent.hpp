@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cmath>
+#include <utility>
+
+namespace scod {
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;       ///< abscissa of the minimum
+  double value = 0.0;   ///< f(x)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Brent's method for minimizing a unimodal scalar function on [a, b]
+/// (Brent 1971) — golden-section steps with successive parabolic
+/// interpolation whenever the parabola is trustworthy. The paper uses the
+/// Boost implementation for its PCA/TCA search; this is a from-scratch
+/// implementation of the same algorithm, validated against analytic minima
+/// in the test suite.
+///
+/// `xtol` is the absolute abscissa tolerance (for TCA searches, seconds).
+template <typename F>
+MinimizeResult brent_minimize(F&& f, double a, double b, double xtol = 1e-8,
+                              int max_iterations = 100) {
+  if (a > b) std::swap(a, b);
+  constexpr double kGolden = 0.3819660112501051;  // 2 - golden ratio
+  constexpr double kEps = 1e-12;                  // relative floor on tolerance
+
+  double x = a + kGolden * (b - a);  // best point so far
+  double w = x;                      // second best
+  double v = x;                      // previous second best
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0;  // last step
+  double e = 0.0;  // step before last
+
+  MinimizeResult result;
+  for (int it = 0; it < max_iterations; ++it) {
+    const double mid = 0.5 * (a + b);
+    const double tol1 = xtol + kEps * std::abs(x);
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - mid) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      result.iterations = it;
+      break;
+    }
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Fit a parabola through (x, fx), (w, fw), (v, fv).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      // Accept the parabolic step only if it falls inside the bracket and
+      // moves less than half the step before last.
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) && p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (mid > x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= mid) ? a - x : b - x;
+      d = kGolden * e;
+    }
+
+    const double u = (std::abs(d) >= tol1) ? x + d : x + (d > 0.0 ? tol1 : -tol1);
+    const double fu = f(u);
+
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+    result.iterations = it + 1;
+  }
+
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+/// Golden-section search: the reliable-but-slow half of Brent's method,
+/// kept as an independent reference implementation for the property tests
+/// (both must agree on unimodal functions).
+template <typename F>
+MinimizeResult golden_section_minimize(F&& f, double a, double b, double xtol = 1e-8,
+                                       int max_iterations = 200) {
+  if (a > b) std::swap(a, b);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+
+  MinimizeResult result;
+  int it = 0;
+  for (; it < max_iterations && (b - a) > xtol; ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  result.converged = (b - a) <= xtol;
+  result.iterations = it;
+  if (f1 < f2) {
+    result.x = x1;
+    result.value = f1;
+  } else {
+    result.x = x2;
+    result.value = f2;
+  }
+  return result;
+}
+
+}  // namespace scod

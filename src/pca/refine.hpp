@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// A refined close approach of a satellite pair: the Time of Closest
+/// Approach (TCA) and the distance at that time (PCA). See Fig. 2 of the
+/// paper — an encounter is one local minimum of the pairwise distance.
+struct Encounter {
+  double tca = 0.0;  ///< [s] past epoch
+  double pca = 0.0;  ///< [km]
+};
+
+/// Options for the Brent-based TCA/PCA search (Section IV-C).
+struct RefineOptions {
+  /// Absolute time tolerance of the Brent search [s].
+  double time_tolerance = 1e-4;
+  /// Maximum Brent iterations per candidate.
+  int max_iterations = 80;
+  /// How far beyond an interval edge to probe when the minimum lands on
+  /// the boundary, as a fraction of the interval radius.
+  double edge_probe_fraction = 0.05;
+};
+
+/// Radius of the search interval for a grid candidate: "t is the time it
+/// takes the slower of both satellites to cross two cells" (Section IV-C).
+double grid_search_radius(double cell_size, double slower_speed_km_s);
+
+/// Minimizes the pairwise distance of (sat_a, sat_b) on
+/// [center - radius, center + radius], clamped to [t_min, t_max].
+///
+/// Returns the encounter, or std::nullopt when the minimum lies on the
+/// interval boundary and the distance keeps decreasing just beyond it — in
+/// that case the true local minimum belongs to a neighbouring interval and
+/// will be found from there (the paper's discard rule).
+std::optional<Encounter> refine_candidate(const Propagator& propagator,
+                                          std::uint32_t sat_a, std::uint32_t sat_b,
+                                          double center, double radius,
+                                          double t_min, double t_max,
+                                          const RefineOptions& options = {});
+
+/// Minimizes the pairwise distance on an explicit interval [t_lo, t_hi]
+/// (used by the hybrid variant, whose orbital filters construct the
+/// interval). The boundary-discard rule is applied the same way.
+std::optional<Encounter> refine_on_interval(const Propagator& propagator,
+                                            std::uint32_t sat_a, std::uint32_t sat_b,
+                                            double t_lo, double t_hi,
+                                            const RefineOptions& options = {});
+
+/// Collapses encounters of one pair that describe the same physical local
+/// minimum: candidates generated at adjacent sample steps refine to nearly
+/// identical TCAs. Encounters within `time_tolerance` of each other are
+/// merged, keeping the smallest PCA. Returns the list sorted by TCA.
+std::vector<Encounter> merge_encounters(std::vector<Encounter> encounters,
+                                        double time_tolerance);
+
+}  // namespace scod

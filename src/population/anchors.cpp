@@ -1,0 +1,68 @@
+#include "population/anchors.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace scod {
+
+namespace {
+
+struct MixtureComponent {
+  double weight;        // fraction of the catalog
+  double a_mean;        // [km]
+  double a_sigma;       // [km]
+  double e_mean;
+  double e_sigma;
+};
+
+/// Composition mirroring the 2021 active-satellite catalog: LEO dominates
+/// (Starlink-era), with smaller SSO, MEO, GEO and HEO groups.
+constexpr MixtureComponent kComponents[] = {
+    {0.55, 6920.0, 40.0, 0.0020, 0.0015},   // Starlink-like LEO shells
+    {0.18, 7090.0, 120.0, 0.0030, 0.0025},  // general LEO / CubeSats
+    {0.10, 7180.0, 60.0, 0.0015, 0.0010},   // Sun-synchronous band
+    {0.05, 7700.0, 250.0, 0.0100, 0.0080},  // upper LEO, transfer leftovers
+    {0.04, 26560.0, 120.0, 0.0050, 0.0040}, // GNSS shells (GPS/Galileo)
+    {0.06, 42164.0, 25.0, 0.0003, 0.0003},  // GEO ring
+    {0.02, 24400.0, 900.0, 0.7000, 0.0300}, // GTO / Molniya-like tail
+};
+
+std::vector<std::pair<double, double>> build_catalog() {
+  constexpr std::size_t kAnchors = 256;
+  std::vector<std::pair<double, double>> catalog;
+  catalog.reserve(kAnchors);
+  Rng rng(0xA2C40B5ull);  // fixed seed: the catalog is data, not randomness
+
+  // Deterministic per-component counts via largest remainder.
+  std::size_t produced = 0;
+  for (const MixtureComponent& c : kComponents) {
+    const auto want = static_cast<std::size_t>(c.weight * kAnchors + 0.5);
+    for (std::size_t i = 0; i < want && produced < kAnchors; ++i, ++produced) {
+      double a, e;
+      do {
+        a = rng.gaussian(c.a_mean, c.a_sigma);
+        e = std::abs(rng.gaussian(c.e_mean, c.e_sigma));
+      } while (a * (1.0 - e) < kEarthRadius + kMinPerigeeAltitude || e >= 0.95);
+      catalog.emplace_back(a, e);
+    }
+  }
+  // Top up any rounding shortfall from the dominant component.
+  while (produced < kAnchors) {
+    catalog.emplace_back(rng.gaussian(kComponents[0].a_mean, kComponents[0].a_sigma),
+                         std::abs(rng.gaussian(kComponents[0].e_mean, kComponents[0].e_sigma)));
+    ++produced;
+  }
+  return catalog;
+}
+
+}  // namespace
+
+std::span<const std::pair<double, double>> anchor_catalog() {
+  static const std::vector<std::pair<double, double>> catalog = build_catalog();
+  return catalog;
+}
+
+}  // namespace scod

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+#include <utility>
+
+namespace scod {
+
+/// Anchor catalog for the (semi-major axis [km], eccentricity) density of
+/// Fig. 9.
+///
+/// The paper fits a bivariate kernel density estimate to the Celestrak
+/// catalog of active satellites (April 2021). That catalog is not
+/// available offline, so — per the substitution policy in DESIGN.md — we
+/// embed a synthetic anchor set reproducing the published structure of the
+/// distribution: the dominant LEO concentration at a ~ 7000 km with
+/// e ~ 0.0025, the upper-LEO/SSO band, the MEO navigation shells, the thin
+/// GEO ring at 42164 km, and a small HEO/GTO tail with high eccentricity.
+/// The anchors are generated once from a fixed-seed mixture model, so every
+/// build and every run sees the identical "catalog".
+std::span<const std::pair<double, double>> anchor_catalog();
+
+}  // namespace scod

@@ -1,0 +1,74 @@
+#include "population/catalog_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "orbit/geometry.hpp"
+
+namespace scod {
+
+namespace {
+constexpr const char* kHeader =
+    "id,semi_major_axis_km,eccentricity,inclination_rad,raan_rad,"
+    "arg_perigee_rad,mean_anomaly_rad";
+}
+
+void save_catalog_csv(const std::string& path, const std::vector<Satellite>& satellites) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_catalog_csv: cannot open " + path);
+  out << kHeader << '\n';
+  out << std::setprecision(17);
+  for (const Satellite& sat : satellites) {
+    const KeplerElements& el = sat.elements;
+    out << sat.id << ',' << el.semi_major_axis << ',' << el.eccentricity << ','
+        << el.inclination << ',' << el.raan << ',' << el.arg_perigee << ','
+        << el.mean_anomaly << '\n';
+  }
+  if (!out) throw std::runtime_error("save_catalog_csv: write failure on " + path);
+}
+
+std::vector<Satellite> load_catalog_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_catalog_csv: cannot open " + path);
+
+  std::vector<Satellite> satellites;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line_number == 1 && line.rfind("id,", 0) == 0) continue;  // header
+
+    std::stringstream ss(line);
+    std::string field;
+    double values[7];
+    int i = 0;
+    while (i < 7 && std::getline(ss, field, ',')) {
+      try {
+        values[i] = std::stod(field);
+      } catch (const std::exception&) {
+        throw std::runtime_error("load_catalog_csv: bad number at " + path + ":" +
+                                 std::to_string(line_number));
+      }
+      ++i;
+    }
+    if (i != 7) {
+      throw std::runtime_error("load_catalog_csv: expected 7 fields at " + path + ":" +
+                               std::to_string(line_number));
+    }
+
+    Satellite sat;
+    sat.id = static_cast<std::uint32_t>(values[0]);
+    sat.elements = {values[1], values[2], values[3], values[4], values[5], values[6]};
+    if (!is_valid_orbit(sat.elements)) {
+      throw std::runtime_error("load_catalog_csv: invalid orbit at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    satellites.push_back(sat);
+  }
+  return satellites;
+}
+
+}  // namespace scod

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orbit/elements.hpp"
+
+namespace scod {
+
+/// Writes a satellite catalog as CSV with the header
+/// `id,semi_major_axis_km,eccentricity,inclination_rad,raan_rad,arg_perigee_rad,mean_anomaly_rad`.
+/// Throws std::runtime_error on I/O failure.
+void save_catalog_csv(const std::string& path, const std::vector<Satellite>& satellites);
+
+/// Reads a catalog written by save_catalog_csv (or assembled by hand in
+/// the same format). Validates each orbit and throws std::runtime_error
+/// with the offending line number on malformed input.
+std::vector<Satellite> load_catalog_csv(const std::string& path);
+
+}  // namespace scod

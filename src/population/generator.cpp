@@ -1,0 +1,99 @@
+#include "population/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "population/anchors.hpp"
+#include "population/kde.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace scod {
+
+std::vector<Satellite> generate_population(const PopulationConfig& config) {
+  const BivariateKde kde(anchor_catalog());
+  Rng rng(config.seed);
+
+  std::vector<Satellite> satellites;
+  satellites.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    KeplerElements el;
+    // Rejection-sample (a, e) until the orbit is physically valid; the
+    // KDE tails occasionally dip below the minimum perigee.
+    do {
+      const auto [a, e] = kde.sample(rng);
+      el.semi_major_axis = a;
+      el.eccentricity = std::abs(e);
+    } while (el.eccentricity > config.max_eccentricity ||
+             el.semi_major_axis > config.max_semi_major_axis ||
+             el.semi_major_axis <= 0.0 ||
+             perigee_radius(el) < kEarthRadius + kMinPerigeeAltitude);
+
+    el.inclination = rng.uniform(0.0, kPi);
+    el.raan = rng.uniform(0.0, kTwoPi);
+    el.arg_perigee = rng.uniform(0.0, kTwoPi);
+    el.mean_anomaly = rng.uniform(0.0, kTwoPi);
+
+    satellites.push_back({static_cast<std::uint32_t>(i), el});
+  }
+  return satellites;
+}
+
+std::vector<Satellite> generate_constellation_shell(std::size_t planes,
+                                                    std::size_t per_plane,
+                                                    double altitude_km,
+                                                    double inclination_rad,
+                                                    double phasing,
+                                                    std::uint32_t first_id) {
+  std::vector<Satellite> satellites;
+  satellites.reserve(planes * per_plane);
+  const double a = kEarthRadius + altitude_km;
+  std::uint32_t id = first_id;
+  for (std::size_t p = 0; p < planes; ++p) {
+    const double raan = kTwoPi * static_cast<double>(p) / static_cast<double>(planes);
+    const double plane_phase =
+        phasing * kTwoPi / static_cast<double>(per_plane) * static_cast<double>(p);
+    for (std::size_t s = 0; s < per_plane; ++s) {
+      KeplerElements el;
+      el.semi_major_axis = a;
+      el.eccentricity = 0.0001;  // near-circular; exactly 0 degenerates argp
+      el.inclination = inclination_rad;
+      el.raan = raan;
+      el.arg_perigee = 0.0;
+      el.mean_anomaly = wrap_two_pi(
+          kTwoPi * static_cast<double>(s) / static_cast<double>(per_plane) + plane_phase);
+      satellites.push_back({id++, el});
+    }
+  }
+  return satellites;
+}
+
+std::vector<Satellite> generate_debris_cloud(const KeplerElements& parent,
+                                             std::size_t count, double spread,
+                                             std::uint64_t seed,
+                                             std::uint32_t first_id) {
+  Rng rng(seed);
+  std::vector<Satellite> satellites;
+  satellites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    KeplerElements el;
+    do {
+      el = parent;
+      el.semi_major_axis += rng.gaussian(0.0, 30.0 * spread);
+      el.eccentricity = std::abs(el.eccentricity + rng.gaussian(0.0, 0.005 * spread));
+      el.inclination += rng.gaussian(0.0, 0.01 * spread);
+      el.inclination = std::clamp(el.inclination, 0.0, kPi);
+      el.raan = wrap_two_pi(el.raan + rng.gaussian(0.0, 0.02 * spread));
+      el.arg_perigee = wrap_two_pi(el.arg_perigee + rng.gaussian(0.0, 0.05 * spread));
+      // Fragments disperse along-track fastest: wide anomaly spread.
+      el.mean_anomaly = wrap_two_pi(el.mean_anomaly + rng.gaussian(0.0, 0.5 * spread));
+    } while (!is_valid_orbit(el) ||
+             perigee_radius(el) < kEarthRadius + kMinPerigeeAltitude);
+    satellites.push_back({static_cast<std::uint32_t>(first_id + i), el});
+  }
+  return satellites;
+}
+
+}  // namespace scod

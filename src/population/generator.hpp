@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orbit/elements.hpp"
+
+namespace scod {
+
+/// Configuration of the synthetic-population generator (Section V-A /
+/// Table II of the paper).
+struct PopulationConfig {
+  std::size_t count = 2000;
+  std::uint64_t seed = 42;
+  /// Rejection bounds on the KDE draw: keep the orbit elliptic, above the
+  /// minimum perigee altitude and inside the simulation cube.
+  double max_semi_major_axis = 45000.0;  ///< [km]
+  double max_eccentricity = 0.9;
+};
+
+/// Generates `config.count` satellites: (a, e) from the bivariate KDE over
+/// the anchor catalog, inclination uniform in [0, pi], RAAN and argument
+/// of perigee uniform in [0, 2 pi), mean anomaly uniform in [0, 2 pi)
+/// (Table II: the true anomaly follows from the mean anomaly). Ids are
+/// assigned 0..count-1. Deterministic in `config.seed`.
+std::vector<Satellite> generate_population(const PopulationConfig& config);
+
+/// A Walker-delta style mega-constellation shell (the use case motivating
+/// the paper's introduction): `planes` orbital planes at equal RAAN
+/// spacing, `per_plane` satellites per plane at equal anomaly spacing, all
+/// at the given altitude/inclination on near-circular orbits. `phasing`
+/// shifts the anomaly between adjacent planes (Walker's F parameter as a
+/// fraction of the in-plane spacing). Ids start at `first_id`.
+std::vector<Satellite> generate_constellation_shell(std::size_t planes,
+                                                    std::size_t per_plane,
+                                                    double altitude_km,
+                                                    double inclination_rad,
+                                                    double phasing = 0.0,
+                                                    std::uint32_t first_id = 0);
+
+/// A fragmentation cloud: `count` debris objects spread around a parent
+/// orbit by Gauss-perturbing the parent's elements (the paper's Section
+/// III-B discusses exactly this scenario — fragments start at one point
+/// and spread across the orbital shell). `spread` scales the element
+/// perturbations (1.0 ~ a days-old cloud).
+std::vector<Satellite> generate_debris_cloud(const KeplerElements& parent,
+                                             std::size_t count, double spread,
+                                             std::uint64_t seed,
+                                             std::uint32_t first_id = 0);
+
+}  // namespace scod

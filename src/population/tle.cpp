@@ -1,0 +1,229 @@
+#include "population/tle.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace scod {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tle: " + what);
+}
+
+std::string field(const std::string& line, std::size_t col_begin, std::size_t col_end) {
+  // TLE columns are 1-based inclusive.
+  return line.substr(col_begin - 1, col_end - col_begin + 1);
+}
+
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    // Trailing spaces are fine; anything else is a malformed field.
+    for (std::size_t i = used; i < text.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+        fail(std::string("bad ") + what + " field '" + text + "'");
+      }
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(std::string("bad ") + what + " field '" + text + "'");
+  }
+}
+
+std::uint32_t parse_uint(const std::string& text, const char* what) {
+  std::uint32_t v = 0;
+  bool any = false;
+  for (char c : text) {
+    if (c == ' ') continue;
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(std::string("bad ") + what + " field '" + text + "'");
+    }
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    any = true;
+  }
+  if (!any) fail(std::string("empty ") + what + " field");
+  return v;
+}
+
+/// The TLE "implied decimal point" exponent notation, e.g. " 34123-4" =
+/// +0.34123e-4, "-12345-5" = -0.12345e-5, " 00000+0" = 0.
+double parse_exponent_field(const std::string& text, const char* what) {
+  if (text.size() != 8) fail(std::string("bad width of ") + what + " field");
+  const double sign = text[0] == '-' ? -1.0 : 1.0;
+  double mantissa = 0.0;
+  for (std::size_t i = 1; i <= 5; ++i) {
+    const char c = text[i] == ' ' ? '0' : text[i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(std::string("bad ") + what + " field '" + text + "'");
+    }
+    mantissa = mantissa * 10.0 + (c - '0');
+  }
+  mantissa /= 1e5;
+  const double exp_sign = text[6] == '-' ? -1.0 : 1.0;
+  if (!std::isdigit(static_cast<unsigned char>(text[7]))) {
+    fail(std::string("bad ") + what + " exponent '" + text + "'");
+  }
+  const double exponent = exp_sign * (text[7] - '0');
+  return sign * mantissa * std::pow(10.0, exponent);
+}
+
+std::string format_exponent_field(double value) {
+  char out[9];
+  const char sign = value < 0.0 ? '-' : ' ';
+  value = std::abs(value);
+  int exponent = 0;
+  if (value > 0.0) {
+    exponent = static_cast<int>(std::ceil(std::log10(value) + 1e-12));
+    // Mantissa in [0.1, 1): value = 0.ddddd * 10^exponent.
+    double mantissa = value / std::pow(10.0, exponent);
+    if (mantissa >= 1.0) {
+      mantissa /= 10.0;
+      ++exponent;
+    }
+    const auto digits = static_cast<long>(std::llround(mantissa * 1e5));
+    std::snprintf(out, sizeof(out), "%c%05ld%+1d", sign, digits, exponent);
+  } else {
+    std::snprintf(out, sizeof(out), "%c00000+0", sign);
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(' ');
+  const auto e = s.find_last_not_of(" \r\n");
+  return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+}
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+}  // namespace
+
+int tle_checksum(const std::string& line) {
+  int sum = 0;
+  const std::size_t end = std::min<std::size_t>(line.size(), 68);
+  for (std::size_t i = 0; i < end; ++i) {
+    if (std::isdigit(static_cast<unsigned char>(line[i]))) sum += line[i] - '0';
+    if (line[i] == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+TleRecord parse_tle(const std::string& line1, const std::string& line2,
+                    const std::string& name) {
+  if (line1.size() < 69 || line2.size() < 69) fail("line shorter than 69 columns");
+  if (line1[0] != '1') fail("line 1 does not start with '1'");
+  if (line2[0] != '2') fail("line 2 does not start with '2'");
+  for (const std::string* line : {&line1, &line2}) {
+    const int expected = (*line)[68] - '0';
+    if (tle_checksum(*line) != expected) {
+      fail("checksum mismatch on line '" + trim(*line) + "'");
+    }
+  }
+
+  TleRecord rec;
+  rec.name = trim(name);
+  rec.catalog_number = parse_uint(field(line1, 3, 7), "catalog number");
+  if (parse_uint(field(line2, 3, 7), "catalog number") != rec.catalog_number) {
+    fail("catalog numbers of the two lines differ");
+  }
+  rec.classification = line1[7];
+  rec.intl_designator = trim(field(line1, 10, 17));
+
+  const auto epoch_yy = static_cast<int>(parse_uint(field(line1, 19, 20), "epoch year"));
+  rec.epoch_year = epoch_yy < 57 ? 2000 + epoch_yy : 1900 + epoch_yy;  // NORAD rule
+  rec.epoch_day = parse_double(field(line1, 21, 32), "epoch day");
+
+  rec.mean_motion_dot = parse_double(field(line1, 34, 43), "mean motion dot");
+  rec.mean_motion_ddot = parse_exponent_field(field(line1, 45, 52), "mean motion ddot");
+  rec.bstar = parse_exponent_field(field(line1, 54, 61), "bstar");
+  rec.element_set = parse_uint(field(line1, 65, 68), "element set");
+
+  KeplerElements& el = rec.elements;
+  el.inclination = deg_to_rad(parse_double(field(line2, 9, 16), "inclination"));
+  el.raan = deg_to_rad(parse_double(field(line2, 18, 25), "raan"));
+  el.eccentricity = parse_double("0." + trim(field(line2, 27, 33)), "eccentricity");
+  el.arg_perigee = deg_to_rad(parse_double(field(line2, 35, 42), "arg of perigee"));
+  el.mean_anomaly = deg_to_rad(parse_double(field(line2, 44, 51), "mean anomaly"));
+  rec.mean_motion_rev_day = parse_double(field(line2, 53, 63), "mean motion");
+  rec.revolution_number = parse_uint(field(line2, 64, 68), "revolution number");
+
+  if (rec.mean_motion_rev_day <= 0.0) fail("non-positive mean motion");
+  const double n_rad_s = rec.mean_motion_rev_day * kTwoPi / 86400.0;
+  el.semi_major_axis = std::cbrt(kMuEarth / (n_rad_s * n_rad_s));
+  return rec;
+}
+
+std::pair<std::string, std::string> format_tle(const TleRecord& record) {
+  char line1[70];
+  char line2[70];
+  const KeplerElements& el = record.elements;
+  const int yy = record.epoch_year % 100;
+
+  std::snprintf(line1, sizeof(line1),
+                "1 %05u%c %-8s %02d%012.8f %c.%08.0f %s %s 0 %4u0",
+                record.catalog_number, record.classification,
+                record.intl_designator.c_str(), yy, record.epoch_day,
+                record.mean_motion_dot < 0.0 ? '-' : ' ',
+                std::abs(record.mean_motion_dot) * 1e8,
+                format_exponent_field(record.mean_motion_ddot).c_str(),
+                format_exponent_field(record.bstar).c_str(), record.element_set);
+
+  std::snprintf(line2, sizeof(line2),
+                "2 %05u %8.4f %8.4f %07ld %8.4f %8.4f %11.8f%5u0",
+                record.catalog_number, el.inclination * 180.0 / kPi,
+                el.raan * 180.0 / kPi,
+                std::lround(el.eccentricity * 1e7),
+                el.arg_perigee * 180.0 / kPi, el.mean_anomaly * 180.0 / kPi,
+                record.mean_motion_rev_day, record.revolution_number);
+
+  std::string l1(line1), l2(line2);
+  l1.resize(69, ' ');
+  l2.resize(69, ' ');
+  l1[68] = static_cast<char>('0' + tle_checksum(l1));
+  l2[68] = static_cast<char>('0' + tle_checksum(l2));
+  return {l1, l2};
+}
+
+std::vector<TleRecord> load_tle_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+
+  std::vector<TleRecord> records;
+  std::string line, name;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (line[0] != '1' || line.size() < 69) {
+      // Title line of a 3-line entry.
+      name = trimmed;
+      continue;
+    }
+    std::string line2;
+    if (!std::getline(in, line2)) fail("missing line 2 after line " +
+                                       std::to_string(line_number));
+    ++line_number;
+    try {
+      records.push_back(parse_tle(line, line2, name));
+    } catch (const std::exception& e) {
+      fail(std::string(e.what()) + " at " + path + ":" + std::to_string(line_number));
+    }
+    name.clear();
+  }
+  return records;
+}
+
+Satellite to_satellite(const TleRecord& record, std::uint32_t index) {
+  return {index, record.elements};
+}
+
+}  // namespace scod

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orbit/elements.hpp"
+
+namespace scod {
+
+/// One parsed two-line element set. The paper's population generator is
+/// seeded from the Celestrak TLE catalog of active satellites ([46]); this
+/// module reads that interchange format so real catalogs can be screened
+/// directly.
+///
+/// Note on fidelity: TLE mean elements are defined against the SGP4 theory;
+/// interpreting them as osculating Keplerian elements (as to_satellite()
+/// does) is the standard first-order approximation when only geometry-level
+/// screening is needed.
+struct TleRecord {
+  std::string name;               ///< from the optional title line
+  std::uint32_t catalog_number = 0;
+  char classification = 'U';
+  std::string intl_designator;    ///< e.g. "98067A"
+  int epoch_year = 0;             ///< four-digit year
+  double epoch_day = 0.0;         ///< fractional day of year [1, 367)
+  double mean_motion_dot = 0.0;   ///< rev/day^2 (first derivative / 2 field)
+  double mean_motion_ddot = 0.0;  ///< rev/day^3 (second derivative / 6 field)
+  double bstar = 0.0;             ///< drag term [1/earth radii]
+  std::uint32_t element_set = 0;
+  std::uint32_t revolution_number = 0;
+  double mean_motion_rev_day = 0.0;
+  KeplerElements elements;        ///< converted: a from mean motion, angles in rad
+};
+
+/// Checksum of a TLE line: sum of digits plus one per '-', modulo 10,
+/// computed over the first 68 columns.
+int tle_checksum(const std::string& line);
+
+/// Parses one element set from its two lines (plus an optional name).
+/// Throws std::runtime_error on malformed fields, wrong line numbers,
+/// mismatched catalog numbers or checksum failures.
+TleRecord parse_tle(const std::string& line1, const std::string& line2,
+                    const std::string& name = "");
+
+/// Formats a record as canonical two-line strings (69 columns each,
+/// checksummed). parse_tle(format...) round-trips all fields to TLE
+/// precision.
+std::pair<std::string, std::string> format_tle(const TleRecord& record);
+
+/// Loads a TLE file in 2-line or 3-line (name-prefixed) format; blank
+/// lines are skipped. Throws std::runtime_error with the line number of
+/// the first malformed entry.
+std::vector<TleRecord> load_tle_file(const std::string& path);
+
+/// Converts a record to a screener Satellite with the given index (the
+/// screener uses dense indices; keep the catalog number in the record).
+Satellite to_satellite(const TleRecord& record, std::uint32_t index);
+
+}  // namespace scod

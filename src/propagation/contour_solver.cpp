@@ -1,0 +1,86 @@
+#include "propagation/contour_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/anomaly.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+ContourKeplerSolver::ContourKeplerSolver(int points, bool polish)
+    : points_(points), polish_(polish) {
+  if (points < 4) throw std::invalid_argument("ContourKeplerSolver: need >= 4 points");
+  cos1_.resize(points_);
+  sin1_.resize(points_);
+  cos2_.resize(points_);
+  sin2_.resize(points_);
+  for (int j = 0; j < points_; ++j) {
+    const double theta = kTwoPi * static_cast<double>(j) / static_cast<double>(points_);
+    cos1_[j] = std::cos(theta);
+    sin1_[j] = std::sin(theta);
+    cos2_[j] = std::cos(2.0 * theta);
+    sin2_[j] = std::sin(2.0 * theta);
+  }
+}
+
+double ContourKeplerSolver::eccentric_anomaly(double mean_anomaly,
+                                              double eccentricity) const {
+  const double m = wrap_two_pi(mean_anomaly);
+  const double e = eccentricity;
+  // Circular orbits and roots pinned to the contour (M ~ 0 or pi) are not
+  // suitable for the contour quadrature; they are trivial/cheap for the
+  // safeguarded Newton iteration instead.
+  if (e < 1e-10 || m < 1e-8 || std::abs(m - kPi) < 1e-8 || std::abs(m - kTwoPi) < 1e-8) {
+    return NewtonKeplerSolver{}.eccentric_anomaly(m, e);
+  }
+  const bool mirrored = m > kPi;
+  double big_e = solve_half_range(mirrored ? kTwoPi - m : m, e);
+  if (mirrored) big_e = kTwoPi - big_e;
+
+  if (polish_) {
+    for (int it = 0; it < 2; ++it) {
+      const double f = big_e - e * std::sin(big_e) - m;
+      big_e -= f / (1.0 - e * std::cos(big_e));
+    }
+  }
+  return wrap_two_pi(big_e);
+}
+
+double ContourKeplerSolver::solve_half_range(double m, double e) const {
+  // Root lies in [m, m + e]; center the contour there and inflate the
+  // radius by 1% + epsilon so a root exactly at an interval end (sin E = 0
+  // or 1) stays strictly inside.
+  const double center = m + 0.5 * e;
+  const double radius = 0.5 * e * 1.02 + 1e-12;
+
+  // Accumulate S1 = sum exp(i theta_j) / f(z_j) and
+  //            S2 = sum exp(2 i theta_j) / f(z_j) with
+  // z_j = center + radius exp(i theta_j).
+  double s1_re = 0.0, s1_im = 0.0, s2_re = 0.0, s2_im = 0.0;
+  for (int j = 0; j < points_; ++j) {
+    const double zx = center + radius * cos1_[j];
+    const double zy = radius * sin1_[j];
+    // sin(zx + i zy) = sin(zx) cosh(zy) + i cos(zx) sinh(zy)
+    const double sx = std::sin(zx), cx = std::cos(zx);
+    const double ch = std::cosh(zy), sh = std::sinh(zy);
+    const double f_re = zx - e * sx * ch - m;
+    const double f_im = zy - e * cx * sh;
+
+    const double denom = f_re * f_re + f_im * f_im;
+    const double inv_re = f_re / denom;
+    const double inv_im = -f_im / denom;
+
+    s1_re += cos1_[j] * inv_re - sin1_[j] * inv_im;
+    s1_im += cos1_[j] * inv_im + sin1_[j] * inv_re;
+    s2_re += cos2_[j] * inv_re - sin2_[j] * inv_im;
+    s2_im += cos2_[j] * inv_im + sin2_[j] * inv_re;
+  }
+
+  // E* = center + radius * S2 / S1 (real part).
+  const double denom = s1_re * s1_re + s1_im * s1_im;
+  const double ratio_re = (s2_re * s1_re + s2_im * s1_im) / denom;
+  return center + radius * ratio_re;
+}
+
+}  // namespace scod

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "propagation/kepler_solver.hpp"
+
+namespace scod {
+
+/// Contour-integration Kepler solver ("Kepler's Goat Herd", Philcox,
+/// Goodman & Slepian 2021) — the solver the paper adapts for its GPU
+/// propagation step.
+///
+/// Kepler's equation f(E) = E - e sin E - M has exactly one (simple) real
+/// root E*, and f is entire, so by the residue theorem the root inside a
+/// contour C enclosing only E* satisfies
+///
+///     E* = [ (1/2*pi*i) \oint_C z / f(z) dz ] / [ (1/2*pi*i) \oint_C 1 / f(z) dz ].
+///
+/// For M in [0, pi] the root lies in [M, M + e]; we take C as a circle of
+/// center M + e/2 and a slightly inflated radius, discretize with the
+/// trapezoid rule (geometric convergence on periodic integrands) and
+/// obtain E* non-iteratively:
+///
+///     E* ~ c + rho * sum_j exp(2*i*theta_j)/f(z_j) / sum_j exp(i*theta_j)/f(z_j).
+///
+/// Unlike Newton's method, the cost is a fixed number of function
+/// evaluations with no data-dependent branching — which is what makes the
+/// solver attractive for one-thread-per-tuple execution (Section IV-B of
+/// the paper). The quadrature nodes are precomputed once in the
+/// constructor; this is the reusable "Kepler solver data" the paper stores
+/// per solver instance.
+class ContourKeplerSolver final : public KeplerSolver {
+ public:
+  /// `points` is the number of quadrature nodes N (Philcox et al. report
+  /// double precision from N ~ 10-16). `polish` applies two terminal
+  /// Newton corrections, bringing the residual to machine precision.
+  explicit ContourKeplerSolver(int points = 16, bool polish = true);
+
+  double eccentric_anomaly(double mean_anomaly, double eccentricity) const override;
+
+  int points() const { return points_; }
+
+ private:
+  double solve_half_range(double mean_anomaly, double eccentricity) const;
+
+  int points_;
+  bool polish_;
+  // exp(i*theta_j) and exp(2*i*theta_j), stored as separate re/im arrays so
+  // the hot loop vectorizes.
+  std::vector<double> cos1_, sin1_, cos2_, sin2_;
+};
+
+}  // namespace scod

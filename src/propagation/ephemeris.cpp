@@ -1,0 +1,220 @@
+#include "propagation/ephemeris.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/geometry.hpp"
+#include "propagation/contour_solver.hpp"
+#include "propagation/two_body.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+Vec3 gravity_acceleration(const Vec3& position, const ForceModel& model) {
+  const double r2 = position.norm2();
+  const double r = std::sqrt(r2);
+  const double r3 = r2 * r;
+  Vec3 acc = position * (-kMuEarth / r3);
+
+  if (model.include_j2) {
+    // a_J2 = -(3/2) J2 mu Re^2 / r^5 * [x (1 - 5 z^2/r^2),
+    //                                   y (1 - 5 z^2/r^2),
+    //                                   z (3 - 5 z^2/r^2)]
+    const double z2_over_r2 = position.z * position.z / r2;
+    const double k = -1.5 * kJ2 * kMuEarth * kEarthRadius * kEarthRadius / (r3 * r2);
+    acc.x += k * position.x * (1.0 - 5.0 * z2_over_r2);
+    acc.y += k * position.y * (1.0 - 5.0 * z2_over_r2);
+    acc.z += k * position.z * (3.0 - 5.0 * z2_over_r2);
+  }
+
+  if (model.include_j3) {
+    // J3 zonal term, the gradient of R = -(mu/r) J3 (Re/r)^3 P3(z/r):
+    //   a_x = C x z (3 - 7 z^2/r^2)
+    //   a_y = C y z (3 - 7 z^2/r^2)
+    //   a_z = C (6 z^2 - 7 z^4/r^2 - 3/5 r^2)
+    // with C = -(5/2) J3 mu Re^3 / r^7.
+    const double z = position.z;
+    const double z2 = z * z;
+    const double c = -2.5 * kJ3Earth * kMuEarth * kEarthRadius * kEarthRadius *
+                     kEarthRadius / (r3 * r2 * r2);
+    const double xy_factor = z * (3.0 - 7.0 * z2 / r2);
+    acc.x += c * position.x * xy_factor;
+    acc.y += c * position.y * xy_factor;
+    acc.z += c * (6.0 * z2 - 7.0 * z2 * z2 / r2 - 0.6 * r2);
+  }
+  return acc;
+}
+
+double gravity_potential(const Vec3& position, const ForceModel& model) {
+  const double r = position.norm();
+  const double s = position.z / r;  // sin(latitude)
+  double potential = kMuEarth / r;  // sign convention: a = grad(potential)
+  if (model.include_j2) {
+    const double p2 = 0.5 * (3.0 * s * s - 1.0);
+    potential += -(kMuEarth / r) * kJ2 * std::pow(kEarthRadius / r, 2) * p2;
+  }
+  if (model.include_j3) {
+    const double p3 = 0.5 * (5.0 * s * s * s - 3.0 * s);
+    potential += -(kMuEarth / r) * kJ3Earth * std::pow(kEarthRadius / r, 3) * p3;
+  }
+  return potential;
+}
+
+StateVector rk4_step(const StateVector& state, double dt, const ForceModel& model) {
+  const auto deriv = [&](const StateVector& s) {
+    return StateVector{s.velocity, gravity_acceleration(s.position, model)};
+  };
+  const StateVector k1 = deriv(state);
+  const StateVector k2 = deriv({state.position + k1.position * (dt / 2.0),
+                                state.velocity + k1.velocity * (dt / 2.0)});
+  const StateVector k3 = deriv({state.position + k2.position * (dt / 2.0),
+                                state.velocity + k2.velocity * (dt / 2.0)});
+  const StateVector k4 =
+      deriv({state.position + k3.position * dt, state.velocity + k3.velocity * dt});
+
+  return {state.position + (k1.position + (k2.position + k3.position) * 2.0 +
+                            k4.position) * (dt / 6.0),
+          state.velocity + (k1.velocity + (k2.velocity + k3.velocity) * 2.0 +
+                            k4.velocity) * (dt / 6.0)};
+}
+
+namespace {
+
+/// Margin past both span ends so edge probes of the Brent search stay on
+/// interpolated (not clamped) data.
+double grid_margin(double knot_step) { return 2.0 * knot_step + 60.0; }
+
+std::size_t knots_for(double t_begin, double t_end, double knot_step) {
+  const double covered = (t_end - t_begin) + 2.0 * grid_margin(knot_step);
+  return static_cast<std::size_t>(std::ceil(covered / knot_step)) + 2;
+}
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_thread_pool();
+}
+
+}  // namespace
+
+EphemerisPropagator::EphemerisPropagator(std::vector<KeplerElements> elements,
+                                         double t_begin, double knot_step,
+                                         std::size_t knots_per_satellite)
+    : elements_(std::move(elements)),
+      t_begin_(t_begin),
+      knot_step_(knot_step),
+      knots_per_satellite_(knots_per_satellite) {
+  if (!(knot_step > 0.0)) {
+    throw std::invalid_argument("EphemerisPropagator: knot step must be > 0");
+  }
+  states_.resize(elements_.size() * knots_per_satellite_);
+}
+
+EphemerisPropagator EphemerisPropagator::sample(const Propagator& source,
+                                                double t_begin, double t_end,
+                                                double knot_step, ThreadPool* pool) {
+  if (!(t_begin < t_end)) {
+    throw std::invalid_argument("EphemerisPropagator::sample: empty span");
+  }
+  std::vector<KeplerElements> elements;
+  elements.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) elements.push_back(source.elements(i));
+
+  const std::size_t knots = knots_for(t_begin, t_end, knot_step);
+  EphemerisPropagator ephemeris(std::move(elements),
+                                t_begin - grid_margin(knot_step), knot_step, knots);
+
+  const std::size_t n = ephemeris.size();
+  pool_or_global(pool).parallel_for(n * knots, [&](std::size_t idx) {
+    const std::size_t sat = idx / knots;
+    const std::size_t knot = idx % knots;
+    const double t = ephemeris.t_begin_ + static_cast<double>(knot) * knot_step;
+    ephemeris.states_[idx] = source.state(sat, t);
+  });
+  return ephemeris;
+}
+
+EphemerisPropagator EphemerisPropagator::integrate(
+    std::span<const Satellite> satellites, double t_begin, double t_end,
+    const ForceModel& model, double integrator_step, double knot_step,
+    ThreadPool* pool) {
+  if (!(t_begin < t_end)) {
+    throw std::invalid_argument("EphemerisPropagator::integrate: empty span");
+  }
+  if (!(integrator_step > 0.0) || knot_step < integrator_step) {
+    throw std::invalid_argument("EphemerisPropagator::integrate: bad step sizes");
+  }
+  const auto substeps = static_cast<std::size_t>(std::round(knot_step / integrator_step));
+  const double dt = knot_step / static_cast<double>(substeps);
+
+  std::vector<KeplerElements> elements;
+  elements.reserve(satellites.size());
+  for (const Satellite& sat : satellites) elements.push_back(sat.elements);
+
+  const std::size_t knots = knots_for(t_begin, t_end, knot_step);
+  EphemerisPropagator ephemeris(std::move(elements),
+                                t_begin - grid_margin(knot_step), knot_step, knots);
+
+  // Initial conditions at the (margin-shifted) grid start come from the
+  // analytic two-body solution run backwards from the element epoch t = 0.
+  const ContourKeplerSolver solver;
+  const TwoBodyPropagator initial(satellites, solver);
+
+  pool_or_global(pool).parallel_for(satellites.size(), [&](std::size_t sat) {
+    StateVector state = initial.state(sat, ephemeris.t_begin_);
+    ephemeris.states_[sat * knots] = state;
+    for (std::size_t knot = 1; knot < knots; ++knot) {
+      for (std::size_t s = 0; s < substeps; ++s) state = rk4_step(state, dt, model);
+      ephemeris.states_[sat * knots + knot] = state;
+    }
+  });
+  return ephemeris;
+}
+
+void EphemerisPropagator::locate(double time, std::size_t* knot, double* alpha) const {
+  const double u = (time - t_begin_) / knot_step_;
+  double floor_u = std::floor(u);
+  // Clamp to the covered grid; callers straying past the margin get the
+  // nearest segment's extrapolation rather than UB.
+  floor_u = std::max(0.0, std::min(floor_u, static_cast<double>(knots_per_satellite_ - 2)));
+  *knot = static_cast<std::size_t>(floor_u);
+  *alpha = u - floor_u;
+}
+
+Vec3 EphemerisPropagator::position(std::size_t index, double time) const {
+  return state(index, time).position;
+}
+
+StateVector EphemerisPropagator::state(std::size_t index, double time) const {
+  std::size_t knot;
+  double a;
+  locate(time, &knot, &a);
+  const StateVector& s0 = states_[index * knots_per_satellite_ + knot];
+  const StateVector& s1 = states_[index * knots_per_satellite_ + knot + 1];
+  const double h = knot_step_;
+
+  // Cubic Hermite basis on [0, 1].
+  const double a2 = a * a;
+  const double a3 = a2 * a;
+  const double h00 = 2.0 * a3 - 3.0 * a2 + 1.0;
+  const double h10 = a3 - 2.0 * a2 + a;
+  const double h01 = -2.0 * a3 + 3.0 * a2;
+  const double h11 = a3 - a2;
+
+  StateVector out;
+  out.position = s0.position * h00 + s0.velocity * (h10 * h) +
+                 s1.position * h01 + s1.velocity * (h11 * h);
+
+  // Derivative of the Hermite polynomial gives the velocity.
+  const double d00 = (6.0 * a2 - 6.0 * a) / h;
+  const double d10 = 3.0 * a2 - 4.0 * a + 1.0;
+  const double d01 = (-6.0 * a2 + 6.0 * a) / h;
+  const double d11 = 3.0 * a2 - 2.0 * a;
+  out.velocity = s0.position * d00 + s0.velocity * d10 + s1.position * d01 +
+                 s1.velocity * d11;
+  return out;
+}
+
+const KeplerElements& EphemerisPropagator::elements(std::size_t index) const {
+  return elements_[index];
+}
+
+}  // namespace scod

@@ -1,0 +1,66 @@
+#include "propagation/j2_secular.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "orbit/state.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+J2Rates j2_secular_rates(const KeplerElements& el) {
+  const double n = mean_motion(el);
+  const double p = semi_latus_rectum(el);
+  const double k = 1.5 * kJ2 * (kEarthRadius / p) * (kEarthRadius / p) * n;
+  const double ci = std::cos(el.inclination);
+  const double sqrt_1me2 =
+      std::sqrt(1.0 - el.eccentricity * el.eccentricity);
+
+  J2Rates rates;
+  rates.raan_rate = -k * ci;
+  rates.arg_perigee_rate = 0.5 * k * (5.0 * ci * ci - 1.0);
+  rates.mean_anomaly_rate = n + 0.5 * k * sqrt_1me2 * (3.0 * ci * ci - 1.0);
+  return rates;
+}
+
+J2SecularPropagator::J2SecularPropagator(std::span<const Satellite> satellites,
+                                         const KeplerSolver& solver)
+    : satellites_(satellites.begin(), satellites.end()), solver_(&solver) {
+  rates_.reserve(satellites_.size());
+  for (const Satellite& sat : satellites_) {
+    if (!is_valid_orbit(sat.elements)) {
+      throw std::invalid_argument("J2SecularPropagator: satellite " +
+                                  std::to_string(sat.id) + " has invalid elements");
+    }
+    rates_.push_back(j2_secular_rates(sat.elements));
+  }
+}
+
+KeplerElements J2SecularPropagator::elements_at(std::size_t index, double time) const {
+  KeplerElements el = satellites_[index].elements;
+  const J2Rates& r = rates_[index];
+  el.raan = wrap_two_pi(el.raan + r.raan_rate * time);
+  el.arg_perigee = wrap_two_pi(el.arg_perigee + r.arg_perigee_rate * time);
+  el.mean_anomaly = wrap_two_pi(el.mean_anomaly + r.mean_anomaly_rate * time);
+  return el;
+}
+
+Vec3 J2SecularPropagator::position(std::size_t index, double time) const {
+  const KeplerElements el = elements_at(index, time);
+  const double big_e = solver_->eccentric_anomaly(el.mean_anomaly, el.eccentricity);
+  return position_at_true_anomaly(el, eccentric_to_true(big_e, el.eccentricity));
+}
+
+StateVector J2SecularPropagator::state(std::size_t index, double time) const {
+  const KeplerElements el = elements_at(index, time);
+  const double big_e = solver_->eccentric_anomaly(el.mean_anomaly, el.eccentricity);
+  return state_at_true_anomaly(el, eccentric_to_true(big_e, el.eccentricity));
+}
+
+const KeplerElements& J2SecularPropagator::elements(std::size_t index) const {
+  return satellites_[index].elements;
+}
+
+}  // namespace scod

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "orbit/frames.hpp"
+#include "propagation/kepler_solver.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// Secular rates of the angular elements under the J2 zonal harmonic.
+struct J2Rates {
+  double raan_rate = 0.0;        ///< dOmega/dt [rad/s] (nodal regression)
+  double arg_perigee_rate = 0.0; ///< domega/dt [rad/s] (apsidal rotation)
+  double mean_anomaly_rate = 0.0;///< dM/dt [rad/s] including the two-body n
+};
+
+/// First-order secular J2 drift rates for the given elements.
+J2Rates j2_secular_rates(const KeplerElements& el);
+
+/// Propagator with first-order secular J2 perturbations — one of the
+/// paper's suggested extensions ("exchanging ... other propagators"). The
+/// orbital plane precesses (RAAN regression) and the perigee rotates at
+/// their mean secular rates; the in-plane motion stays Keplerian with a
+/// J2-corrected mean motion. Shape elements (a, e, i) are held constant,
+/// which is exact at first order for secular J2.
+class J2SecularPropagator final : public Propagator {
+ public:
+  J2SecularPropagator(std::span<const Satellite> satellites, const KeplerSolver& solver);
+
+  std::size_t size() const override { return satellites_.size(); }
+  Vec3 position(std::size_t index, double time) const override;
+  StateVector state(std::size_t index, double time) const override;
+  const KeplerElements& elements(std::size_t index) const override;
+
+  const J2Rates& rates(std::size_t index) const { return rates_[index]; }
+
+ private:
+  /// Elements drifted to `time`.
+  KeplerElements elements_at(std::size_t index, double time) const;
+
+  std::vector<Satellite> satellites_;
+  std::vector<J2Rates> rates_;
+  const KeplerSolver* solver_;
+};
+
+}  // namespace scod

@@ -1,0 +1,64 @@
+#include "propagation/kepler_solver.hpp"
+
+#include <cmath>
+
+#include "orbit/anomaly.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+double kepler_residual(double eccentric_anomaly, double eccentricity, double mean_anomaly) {
+  const double m = eccentric_anomaly - eccentricity * std::sin(eccentric_anomaly);
+  return std::abs(wrap_pi(m - mean_anomaly));
+}
+
+double NewtonKeplerSolver::eccentric_anomaly(double mean_anomaly, double eccentricity) const {
+  const double m = wrap_two_pi(mean_anomaly);
+  const double e = eccentricity;
+  if (e == 0.0) return m;
+
+  // Solve on [0, pi] and mirror: E(2*pi - M) = 2*pi - E(M).
+  const bool mirrored = m > kPi;
+  const double mm = mirrored ? kTwoPi - m : m;
+
+  // Third-order starter (Danby): E0 = M + e sin M / (1 - sin(M+e) + sin M).
+  double big_e = mm + e * std::sin(mm) / (1.0 - std::sin(mm + e) + std::sin(mm));
+  if (!(big_e >= 0.0 && big_e <= kPi + e)) big_e = mm + 0.85 * e;  // fallback start
+
+  // Bisection bracket maintained alongside Newton so a wild step cannot
+  // escape: f is strictly increasing on [0, pi + e].
+  double lo = 0.0, hi = kPi;
+  for (int it = 0; it < max_iterations_; ++it) {
+    const double f = big_e - e * std::sin(big_e) - mm;
+    if (std::abs(f) < tolerance_) break;
+    if (f > 0.0) {
+      hi = big_e;
+    } else {
+      lo = big_e;
+    }
+    const double fp = 1.0 - e * std::cos(big_e);
+    double next = big_e - f / fp;
+    if (next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    big_e = next;
+  }
+
+  return wrap_two_pi(mirrored ? kTwoPi - big_e : big_e);
+}
+
+double BisectionKeplerSolver::eccentric_anomaly(double mean_anomaly, double eccentricity) const {
+  const double m = wrap_two_pi(mean_anomaly);
+  const double e = eccentricity;
+  double lo = 0.0, hi = kTwoPi;
+  for (int it = 0; it < iterations_; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = mid - e * std::sin(mid) - m;
+    if (f < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return wrap_two_pi(0.5 * (lo + hi));
+}
+
+}  // namespace scod

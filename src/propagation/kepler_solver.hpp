@@ -1,0 +1,52 @@
+#pragma once
+
+namespace scod {
+
+/// Solves Kepler's equation E - e sin(E) = M for the eccentric anomaly E.
+///
+/// The paper's propagation step is dominated by this solve; it adapts the
+/// high-performance Contour ("Kepler's Goat Herd") solver of Philcox et al.
+/// so every (satellite, time) evaluation is independent. We provide three
+/// implementations: a bisection reference (slow, guaranteed), the classic
+/// Newton-Raphson iteration (the baseline the Contour method is compared
+/// against), and the Contour solver itself (contour_solver.hpp).
+class KeplerSolver {
+ public:
+  virtual ~KeplerSolver() = default;
+
+  /// Returns E in [0, 2*pi) for mean anomaly M (any value, wrapped
+  /// internally) and eccentricity e in [0, 1).
+  virtual double eccentric_anomaly(double mean_anomaly, double eccentricity) const = 0;
+};
+
+/// Newton-Raphson with a third-order-accurate starter and a bisection
+/// safeguard; converges to ~1e-14 residual for all e < 1.
+class NewtonKeplerSolver final : public KeplerSolver {
+ public:
+  explicit NewtonKeplerSolver(double tolerance = 1e-14, int max_iterations = 50)
+      : tolerance_(tolerance), max_iterations_(max_iterations) {}
+
+  double eccentric_anomaly(double mean_anomaly, double eccentricity) const override;
+
+ private:
+  double tolerance_;
+  int max_iterations_;
+};
+
+/// Plain bisection on [0, 2*pi]; used as the ground-truth oracle in tests
+/// because its convergence does not depend on any starting heuristic.
+class BisectionKeplerSolver final : public KeplerSolver {
+ public:
+  explicit BisectionKeplerSolver(int iterations = 64) : iterations_(iterations) {}
+
+  double eccentric_anomaly(double mean_anomaly, double eccentricity) const override;
+
+ private:
+  int iterations_;
+};
+
+/// Kepler-equation residual |E - e sin E - M| (with wrap-around handling);
+/// handy for accuracy assertions.
+double kepler_residual(double eccentric_anomaly, double eccentricity, double mean_anomaly);
+
+}  // namespace scod

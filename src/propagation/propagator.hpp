@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "orbit/elements.hpp"
+#include "orbit/state.hpp"
+
+namespace scod {
+
+/// Position source for a fixed set of satellites over time.
+///
+/// All conjunction-screening variants consume this interface: the grid
+/// front-end asks for positions at the sample times, the PCA/TCA
+/// refinement evaluates the pairwise distance at arbitrary times inside
+/// the Brent search interval. Implementations must be safe to call
+/// concurrently from many threads (they are pure functions of (index, t)).
+class Propagator {
+ public:
+  virtual ~Propagator() = default;
+
+  /// Number of satellites this propagator serves.
+  virtual std::size_t size() const = 0;
+
+  /// ECI position [km] of satellite `index` at `time` seconds past epoch.
+  virtual Vec3 position(std::size_t index, double time) const = 0;
+
+  /// ECI position and velocity of satellite `index` at `time`.
+  virtual StateVector state(std::size_t index, double time) const = 0;
+
+  /// Epoch elements of satellite `index`.
+  virtual const KeplerElements& elements(std::size_t index) const = 0;
+
+  /// Distance between two satellites at `time` [km]; the objective function
+  /// the Brent search minimizes.
+  double distance(std::size_t a, std::size_t b, double time) const {
+    return position(a, time).distance(position(b, time));
+  }
+};
+
+}  // namespace scod

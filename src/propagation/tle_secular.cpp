@@ -1,0 +1,72 @@
+#include "propagation/tle_secular.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "orbit/state.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+TleSecularPropagator::TleSecularPropagator(std::span<const TleRecord> records,
+                                           const KeplerSolver& solver)
+    : solver_(&solver) {
+  records_.reserve(records.size());
+  for (const TleRecord& rec : records) {
+    if (!is_valid_orbit(rec.elements)) {
+      throw std::invalid_argument("TleSecularPropagator: invalid orbit in record " +
+                                  std::to_string(rec.catalog_number));
+    }
+    Entry e;
+    e.epoch = rec.elements;
+    e.n0_rev_day = rec.mean_motion_rev_day;
+    e.ndot_half = rec.mean_motion_dot;
+    e.j2 = j2_secular_rates(rec.elements);
+    records_.push_back(e);
+  }
+}
+
+KeplerElements TleSecularPropagator::elements_at(std::size_t index, double time) const {
+  const Entry& rec = records_[index];
+  const double t_days = time / 86400.0;
+
+  // Instantaneous mean motion with the drag derivative; clamp at the point
+  // the linear model stops being physical.
+  double n_rev_day = rec.n0_rev_day + 2.0 * rec.ndot_half * t_days;
+  n_rev_day = std::max(n_rev_day, 0.1 * rec.n0_rev_day);
+  const double n_rad_s = n_rev_day * kTwoPi / 86400.0;
+
+  KeplerElements el = rec.epoch;
+  el.semi_major_axis = std::cbrt(kMuEarth / (n_rad_s * n_rad_s));
+  // J2 secular rates were computed for the epoch elements; the slow drag
+  // shrinkage changes them only at second order.
+  el.raan = wrap_two_pi(el.raan + rec.j2.raan_rate * time);
+  el.arg_perigee = wrap_two_pi(el.arg_perigee + rec.j2.arg_perigee_rate * time);
+
+  // Mean anomaly: epoch value + integral of the (drifting) mean motion,
+  // plus the J2 correction to the mean rate.
+  const double revs = rec.n0_rev_day * t_days + rec.ndot_half * t_days * t_days;
+  const double j2_extra = (rec.j2.mean_anomaly_rate - mean_motion(rec.epoch)) * time;
+  el.mean_anomaly = wrap_two_pi(rec.epoch.mean_anomaly + revs * kTwoPi + j2_extra);
+  return el;
+}
+
+Vec3 TleSecularPropagator::position(std::size_t index, double time) const {
+  const KeplerElements el = elements_at(index, time);
+  const double big_e = solver_->eccentric_anomaly(el.mean_anomaly, el.eccentricity);
+  return position_at_true_anomaly(el, eccentric_to_true(big_e, el.eccentricity));
+}
+
+StateVector TleSecularPropagator::state(std::size_t index, double time) const {
+  const KeplerElements el = elements_at(index, time);
+  const double big_e = solver_->eccentric_anomaly(el.mean_anomaly, el.eccentricity);
+  return state_at_true_anomaly(el, eccentric_to_true(big_e, el.eccentricity));
+}
+
+const KeplerElements& TleSecularPropagator::elements(std::size_t index) const {
+  return records_[index].epoch;
+}
+
+}  // namespace scod

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "population/tle.hpp"
+#include "propagation/j2_secular.hpp"
+#include "propagation/kepler_solver.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// Secular propagation consistent with the GP (TLE) data the catalog
+/// supplies: the mean anomaly integrates the published mean-motion
+/// derivative (the line-1 n-dot/2 field, i.e. atmospheric drag to first
+/// order), the semi-major axis follows the instantaneous mean motion
+/// (energy decay), and the orbital plane precesses at the J2 secular
+/// rates. This is the standard "coarse GP propagation" used when a full
+/// SGP4 theory is not required — and another instance of the paper's
+/// future-work item of exchanging the propagator.
+///
+///   M(t)    = M0 + n0 t + (ndot/2) t^2          [revolutions, t in days]
+///   n(t)    = n0 + ndot t
+///   a(t)    = (mu / n(t)^2)^(1/3)
+///   raan(t), argp(t): epoch value + J2 secular rate * t
+///
+/// Records with a non-physical decayed state (n(t) <= 0) are clamped to
+/// their last valid epoch; the screening spans this library targets are
+/// far shorter than any such decay.
+class TleSecularPropagator final : public Propagator {
+ public:
+  TleSecularPropagator(std::span<const TleRecord> records, const KeplerSolver& solver);
+
+  std::size_t size() const override { return records_.size(); }
+  Vec3 position(std::size_t index, double time) const override;
+  StateVector state(std::size_t index, double time) const override;
+  const KeplerElements& elements(std::size_t index) const override;
+
+  /// Elements drifted to `time` (exposed for tests and diagnostics).
+  KeplerElements elements_at(std::size_t index, double time) const;
+
+ private:
+  struct Entry {
+    KeplerElements epoch;
+    double n0_rev_day = 0.0;     ///< mean motion at epoch [rev/day]
+    double ndot_half = 0.0;      ///< the TLE field: n-dot/2 [rev/day^2]
+    J2Rates j2;
+  };
+
+  std::vector<Entry> records_;
+  const KeplerSolver* solver_;
+};
+
+}  // namespace scod

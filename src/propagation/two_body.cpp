@@ -1,0 +1,62 @@
+#include "propagation/two_body.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+
+TwoBodyPropagator::TwoBodyPropagator(std::span<const Satellite> satellites,
+                                     const KeplerSolver& solver)
+    : satellites_(satellites.begin(), satellites.end()), solver_(&solver) {
+  cache_.reserve(satellites_.size());
+  for (const Satellite& sat : satellites_) {
+    const KeplerElements& el = sat.elements;
+    if (!is_valid_orbit(el)) {
+      throw std::invalid_argument("TwoBodyPropagator: satellite " +
+                                  std::to_string(sat.id) + " has invalid elements");
+    }
+    TwoBodyCache c;
+    c.mean_anomaly0 = el.mean_anomaly;
+    c.mean_motion = mean_motion(el);
+    c.eccentricity = el.eccentricity;
+    c.semi_latus = semi_latus_rectum(el);
+    c.vis_viva_factor = std::sqrt(kMuEarth / c.semi_latus);
+    c.rotation = perifocal_to_eci(el.inclination, el.raan, el.arg_perigee);
+    cache_.push_back(c);
+  }
+}
+
+double TwoBodyPropagator::true_anomaly(std::size_t index, double time) const {
+  const TwoBodyCache& c = cache_[index];
+  const double m = c.mean_anomaly0 + c.mean_motion * time;
+  const double big_e = solver_->eccentric_anomaly(m, c.eccentricity);
+  return eccentric_to_true(big_e, c.eccentricity);
+}
+
+Vec3 TwoBodyPropagator::position(std::size_t index, double time) const {
+  const TwoBodyCache& c = cache_[index];
+  const double f = true_anomaly(index, time);
+  const double r = c.semi_latus / (1.0 + c.eccentricity * std::cos(f));
+  const Vec3 pos_pf{r * std::cos(f), r * std::sin(f), 0.0};
+  return c.rotation * pos_pf;
+}
+
+StateVector TwoBodyPropagator::state(std::size_t index, double time) const {
+  const TwoBodyCache& c = cache_[index];
+  const double f = true_anomaly(index, time);
+  const double cf = std::cos(f), sf = std::sin(f);
+  const double r = c.semi_latus / (1.0 + c.eccentricity * cf);
+  const Vec3 pos_pf{r * cf, r * sf, 0.0};
+  const Vec3 vel_pf{-c.vis_viva_factor * sf, c.vis_viva_factor * (c.eccentricity + cf), 0.0};
+  return {c.rotation * pos_pf, c.rotation * vel_pf};
+}
+
+const KeplerElements& TwoBodyPropagator::elements(std::size_t index) const {
+  return satellites_[index].elements;
+}
+
+}  // namespace scod

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "orbit/frames.hpp"
+#include "propagation/kepler_solver.hpp"
+#include "propagation/propagator.hpp"
+
+namespace scod {
+
+/// Per-satellite data precomputed once at construction — the paper's
+/// "Kepler solver data" a_k (Section V-B) that the GPU adaptation stores in
+/// global memory so each (satellite, time) thread is independent: mean
+/// motion, eccentricity terms, and the perifocal->ECI rotation.
+struct TwoBodyCache {
+  double mean_anomaly0 = 0.0;   ///< M at epoch [rad]
+  double mean_motion = 0.0;     ///< n [rad/s]
+  double eccentricity = 0.0;
+  double semi_latus = 0.0;      ///< p = a(1-e^2) [km]
+  double vis_viva_factor = 0.0; ///< sqrt(mu/p) [km/s]
+  Mat3 rotation;                ///< perifocal -> ECI
+};
+
+/// Unperturbed Keplerian (two-body) propagation, the paper's propagation
+/// model. Advances the mean anomaly linearly, solves Kepler's equation
+/// with the configured solver, and rotates the perifocal state into ECI.
+class TwoBodyPropagator final : public Propagator {
+ public:
+  /// The solver must outlive the propagator. Satellites with invalid
+  /// elements (hyperbolic, sub-surface perigee) are rejected with
+  /// std::invalid_argument — the screening pipeline requires every index
+  /// to be propagatable at any time.
+  TwoBodyPropagator(std::span<const Satellite> satellites, const KeplerSolver& solver);
+
+  std::size_t size() const override { return satellites_.size(); }
+  Vec3 position(std::size_t index, double time) const override;
+  StateVector state(std::size_t index, double time) const override;
+  const KeplerElements& elements(std::size_t index) const override;
+
+  /// True anomaly at `time`; exposed for the filter chain's anomaly-window
+  /// computations.
+  double true_anomaly(std::size_t index, double time) const;
+
+  const TwoBodyCache& cache(std::size_t index) const { return cache_[index]; }
+
+ private:
+  std::vector<Satellite> satellites_;
+  std::vector<TwoBodyCache> cache_;
+  const KeplerSolver* solver_;
+};
+
+}  // namespace scod

@@ -1,0 +1,31 @@
+#include "spatial/kdtree.hpp"
+
+#include <algorithm>
+
+namespace scod {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  if (!points_.empty()) build(0, points_.size(), 0);
+}
+
+void KdTree::build(std::size_t lo, std::size_t hi, int axis) {
+  if (hi - lo <= 1) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(points_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   points_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   points_.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [axis](const Point& a, const Point& b) {
+                     return axis_value(a.position, axis) < axis_value(b.position, axis);
+                   });
+  const int next_axis = (axis + 1) % 3;
+  build(lo, mid, next_axis);
+  build(mid + 1, hi, next_axis);
+}
+
+std::vector<std::uint32_t> KdTree::within(const Vec3& query, double radius) const {
+  std::vector<std::uint32_t> out;
+  for_each_within(query, radius, [&](const Point& p) { out.push_back(p.id); });
+  return out;
+}
+
+}  // namespace scod

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace scod {
+
+/// Static 3-d tree over a point set with fixed-radius neighbour queries.
+///
+/// This is the comparison structure from the related work the paper
+/// discusses (Budianto-Ho et al. 2014 build Kd-trees over satellite
+/// extents): correct, but the tree must be rebuilt every sample step,
+/// which is what makes the hash-grid the better fit for the screening
+/// problem. We keep it for the ablation benchmark (bench_micro_spatial)
+/// and as an independent oracle in the spatial tests.
+class KdTree {
+ public:
+  struct Point {
+    Vec3 position;
+    std::uint32_t id = 0;
+  };
+
+  /// Builds a balanced tree in O(n log n) by median splitting.
+  explicit KdTree(std::vector<Point> points);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Calls `visit(point)` for every stored point within `radius` of
+  /// `query` (inclusive).
+  template <typename Visitor>
+  void for_each_within(const Vec3& query, double radius, Visitor&& visit) const {
+    if (!points_.empty()) {
+      search(0, points_.size(), 0, query, radius * radius, visit);
+    }
+  }
+
+  /// Ids of all points within `radius` of `query`.
+  std::vector<std::uint32_t> within(const Vec3& query, double radius) const;
+
+ private:
+  void build(std::size_t lo, std::size_t hi, int axis);
+
+  static double axis_value(const Vec3& v, int axis) {
+    return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+  }
+
+  template <typename Visitor>
+  void search(std::size_t lo, std::size_t hi, int axis, const Vec3& query,
+              double radius2, Visitor&& visit) const {
+    if (lo >= hi) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Point& node = points_[mid];
+
+    const Vec3 diff = node.position - query;
+    if (diff.norm2() <= radius2) visit(node);
+
+    const double plane_dist = axis_value(query, axis) - axis_value(node.position, axis);
+    const int next_axis = (axis + 1) % 3;
+    // Descend the near side first, then the far side only if the splitting
+    // plane is within the query radius.
+    if (plane_dist <= 0.0) {
+      search(lo, mid, next_axis, query, radius2, visit);
+      if (plane_dist * plane_dist <= radius2)
+        search(mid + 1, hi, next_axis, query, radius2, visit);
+    } else {
+      search(mid + 1, hi, next_axis, query, radius2, visit);
+      if (plane_dist * plane_dist <= radius2)
+        search(lo, mid, next_axis, query, radius2, visit);
+    }
+  }
+
+  std::vector<Point> points_;
+};
+
+}  // namespace scod

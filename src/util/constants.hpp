@@ -1,0 +1,42 @@
+#pragma once
+
+/// Physical and numerical constants shared across the library.
+///
+/// All lengths are kilometres, all times seconds, all angles radians,
+/// matching the unit conventions of the paper (screening thresholds in km,
+/// sampling periods in seconds).
+namespace scod {
+
+/// Standard gravitational parameter of Earth [km^3 / s^2] (WGS-84).
+inline constexpr double kMuEarth = 398600.4418;
+
+/// Mean equatorial radius of Earth [km] (WGS-84).
+inline constexpr double kEarthRadius = 6378.137;
+
+/// J2 zonal harmonic coefficient of Earth's gravity field (dimensionless).
+inline constexpr double kJ2 = 1.08262668e-3;
+
+/// J3 zonal harmonic ("pear shape") coefficient.
+inline constexpr double kJ3Earth = -2.5326e-6;
+
+/// Typical orbital speed of a satellite in LEO [km/s]; the paper's Eq. (1)
+/// uses this value to bound how far an object can travel between samples.
+inline constexpr double kLeoSpeed = 7.8;
+
+/// Half-extent of the cubic simulation volume [km]. The paper requires at
+/// least (85,000 km)^3 to cover everything up to the geostationary ring at
+/// 42,164 km; centering the cube on Earth gives each axis the span
+/// [-42,500, +42,500] km.
+inline constexpr double kSimulationHalfExtent = 42500.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Lowest perigee altitude [km] we consider a stable orbit when generating
+/// synthetic populations (objects below re-enter quickly).
+inline constexpr double kMinPerigeeAltitude = 200.0;
+
+/// Geostationary semi-major axis [km].
+inline constexpr double kGeoSemiMajorAxis = 42164.0;
+
+}  // namespace scod

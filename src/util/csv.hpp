@@ -1,0 +1,29 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scod {
+
+/// Small CSV writer; every benchmark also dumps machine-readable results so
+/// figures can be replotted without re-running the sweep.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header line. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Quotes a CSV field if it contains separators/quotes.
+std::string csv_escape(const std::string& field);
+
+}  // namespace scod

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scod {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe, timestamped logging to stderr. Kept intentionally simple:
+/// the library itself logs only at kWarn and above; harness binaries use
+/// kInfo for progress reporting on long sweeps.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string format_concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::format_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::format_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::format_concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_message(LogLevel::kError, detail::format_concat(std::forward<Args>(args)...));
+}
+
+}  // namespace scod

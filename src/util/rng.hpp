@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/constants.hpp"
+
+namespace scod {
+
+/// SplitMix64: used to expand a single 64-bit seed into the state of the
+/// main generator. Reference: Steele, Lea & Flood (2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ pseudo-random generator (Blackman & Vigna 2019).
+///
+/// Deterministic across platforms given the same seed, which the population
+/// generator relies on so that every benchmark/test sees the same catalog.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5C0D5EEDull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    has_gauss_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation (the multiply-shift
+    // bias is < n / 2^64, immaterial for our n <= 2^20 index draws).
+    __extension__ using uint128 = unsigned __int128;
+    const uint128 m = static_cast<uint128>(next()) * static_cast<uint128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate via the Marsaglia polar method.
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_ = v * f;
+    has_gauss_ = true;
+    return u * f;
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+}  // namespace scod

@@ -1,0 +1,55 @@
+#include "util/sysinfo.hpp"
+
+#include <sys/utsname.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace scod {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  const auto e = s.find_last_not_of(" \t");
+  return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+}
+}  // namespace
+
+SystemInfo query_system_info() {
+  SystemInfo info;
+  info.logical_cpus = std::thread::hardware_concurrency();
+
+  utsname un{};
+  if (uname(&un) == 0) {
+    info.os = std::string(un.sysname) + " " + un.release;
+  }
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = trim(line.substr(0, colon));
+    const std::string value = trim(line.substr(colon + 1));
+    if (key == "model name" && info.cpu_name.empty()) info.cpu_name = value;
+    if (key == "cpu MHz" && info.cpu_mhz == 0.0) {
+      std::stringstream ss(value);
+      ss >> info.cpu_mhz;
+    }
+  }
+
+  std::ifstream meminfo("/proc/meminfo");
+  while (std::getline(meminfo, line)) {
+    if (line.rfind("MemTotal:", 0) == 0) {
+      std::stringstream ss(line.substr(9));
+      double kib = 0.0;
+      ss >> kib;
+      info.memory_gib = kib / (1024.0 * 1024.0);
+      break;
+    }
+  }
+  return info;
+}
+
+}  // namespace scod

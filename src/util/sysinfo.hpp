@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace scod {
+
+/// Host description used by `bench_table1_systems`, the analogue of the
+/// paper's Table I (benchmark system configuration).
+struct SystemInfo {
+  std::string os;
+  std::string cpu_name;
+  std::size_t logical_cpus = 0;
+  double cpu_mhz = 0.0;
+  /// Total system memory in GiB.
+  double memory_gib = 0.0;
+};
+
+/// Queries /proc and uname; missing fields stay at their defaults.
+SystemInfo query_system_info();
+
+}  // namespace scod

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scod {
+
+/// Column-aligned plain-text table printer. The benchmark binaries use it
+/// to emit the same rows the paper's tables/figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string integer(long long value);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scod

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "filters/coplanarity.hpp"
+#include "orbit/anomaly.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/frames.hpp"
+#include "orbit/geometry.hpp"
+#include "propagation/kepler_solver.hpp"
+#include "propagation/two_body.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace scod::testutil {
+
+/// Builds a near-circular satellite whose orbit passes within ~|offset_km|
+/// of `target`'s position at time `t_star`, in a plane that is NOT
+/// coplanar with the target's. This engineers a guaranteed sub-|offset|
+/// close approach at a known time — the deterministic way to seed test
+/// populations with true conjunctions instead of waiting for random
+/// geometry to align.
+inline Satellite make_interceptor(const KeplerElements& target, double t_star,
+                                  double offset_km, Rng& rng, std::uint32_t id) {
+  const NewtonKeplerSolver solver;
+  const std::vector<Satellite> one{{0, target}};
+  const TwoBodyPropagator prop(one, solver);
+  const Vec3 p = prop.position(0, t_star);
+  const Vec3 p_hat = p.normalized();
+
+  // Random plane containing the encounter point, rejected until it is
+  // clearly non-coplanar with the target's plane.
+  KeplerElements el;
+  for (;;) {
+    const Vec3 u{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const Vec3 normal = p_hat.cross(u).normalized();
+    if (normal.norm() < 0.5) continue;  // u parallel to p: retry
+
+    el.semi_major_axis = p.norm() + offset_km;
+    el.eccentricity = 1e-6;
+    el.inclination = std::acos(std::clamp(normal.z, -1.0, 1.0));
+    // orbit_normal() = (sin(raan) sin(i), -cos(raan) sin(i), cos(i)).
+    el.raan = wrap_two_pi(std::atan2(normal.x, -normal.y));
+    el.arg_perigee = 0.0;
+    el.mean_anomaly = 0.0;
+    if (plane_angle(el, target) < 0.1) continue;
+
+    // True anomaly of the encounter direction within the new plane, then
+    // back out the epoch mean anomaly that puts the object there at t_star.
+    const Mat3 rot = perifocal_to_eci(el.inclination, el.raan, el.arg_perigee);
+    const Vec3 in_plane = rot.transposed() * p_hat;
+    const double f = wrap_two_pi(std::atan2(in_plane.y, in_plane.x));
+    const double m_at_t = true_to_mean(f, el.eccentricity);
+    el.mean_anomaly = wrap_two_pi(m_at_t - mean_motion(el) * t_star);
+    break;
+  }
+  return {id, el};
+}
+
+}  // namespace scod::testutil

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/device.hpp"
+
+namespace scod {
+namespace {
+
+DeviceProperties small_device(std::uint64_t bytes = 1 << 20) {
+  DeviceProperties props;
+  props.memory_bytes = bytes;
+  return props;
+}
+
+TEST(Device, AllocationAccounting) {
+  Device device(small_device());
+  EXPECT_EQ(device.memory_used(), 0u);
+  {
+    auto buf = device.alloc<double>(1000);
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(device.memory_used(), 8000u);
+    EXPECT_EQ(device.stats().allocations, 1u);
+    EXPECT_EQ(device.stats().bytes_peak, 8000u);
+  }
+  EXPECT_EQ(device.memory_used(), 0u);
+  EXPECT_EQ(device.stats().frees, 1u);
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  Device device(small_device(1024));
+  auto keep = device.alloc<std::uint8_t>(1000);
+  EXPECT_THROW(device.alloc<std::uint8_t>(100), DeviceOutOfMemory);
+  EXPECT_EQ(device.stats().allocations, 1u);  // failed alloc not counted
+  // After freeing, the same allocation succeeds.
+  keep = DeviceBuffer<std::uint8_t>();
+  EXPECT_NO_THROW(device.alloc<std::uint8_t>(1000));
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  Device device(small_device());
+  auto a = device.alloc<int>(100);
+  const std::uint64_t used = device.memory_used();
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(device.memory_used(), used);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): moved-from is empty
+}
+
+TEST(Device, TransferRoundTripAndStats) {
+  Device device(small_device());
+  auto buf = device.alloc<int>(64);
+  std::vector<int> host(64);
+  std::iota(host.begin(), host.end(), 0);
+  device.copy_to_device(buf, host.data(), host.size());
+
+  std::vector<int> back(64, -1);
+  device.copy_to_host(back.data(), buf, back.size());
+  EXPECT_EQ(back, host);
+
+  EXPECT_EQ(device.stats().h2d_transfers, 1u);
+  EXPECT_EQ(device.stats().h2d_bytes, 64u * sizeof(int));
+  EXPECT_EQ(device.stats().d2h_transfers, 1u);
+  EXPECT_EQ(device.stats().d2h_bytes, 64u * sizeof(int));
+  EXPECT_GT(device.stats().modelled_transfer_seconds(device.properties()), 0.0);
+}
+
+TEST(Device, TransferBoundsChecked) {
+  Device device(small_device());
+  auto buf = device.alloc<int>(4);
+  std::vector<int> host(8, 0);
+  EXPECT_THROW(device.copy_to_device(buf, host.data(), 8), std::out_of_range);
+  EXPECT_THROW(device.copy_to_host(host.data(), buf, 8), std::out_of_range);
+}
+
+TEST(Device, LaunchCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  Device device(small_device(), &pool);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  device.launch(kN, 256, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(device.stats().kernels_launched, 1u);
+  EXPECT_GT(device.stats().kernel_seconds, 0.0);
+}
+
+TEST(Device, LaunchHandlesRaggedLastBlock) {
+  Device device(small_device());
+  std::atomic<std::size_t> count{0};
+  device.launch(1000, 256, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(Device, LaunchValidatesBlockSize) {
+  Device device(small_device());
+  const auto noop = [](std::size_t) {};
+  EXPECT_THROW(device.launch(10, 0, noop), std::invalid_argument);
+  EXPECT_THROW(device.launch(10, 4096, noop), std::invalid_argument);
+  EXPECT_NO_THROW(device.launch(0, 256, noop));  // empty launch is legal
+}
+
+TEST(Device, ResetStatsKeepsLiveAllocations) {
+  Device device(small_device());
+  auto buf = device.alloc<double>(10);
+  device.launch(5, 5, [](std::size_t) {});
+  device.reset_stats();
+  EXPECT_EQ(device.stats().kernels_launched, 0u);
+  EXPECT_EQ(device.memory_used(), 80u);
+  EXPECT_EQ(device.stats().bytes_peak, 80u);
+}
+
+TEST(Device, KernelsShareAtomicState) {
+  // Blocks run concurrently; a CAS-based accumulation must behave exactly
+  // as it would on a real device.
+  Device device(small_device());
+  std::atomic<long long> sum{0};
+  constexpr std::size_t kN = 4096;
+  device.launch(kN, 128, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace scod

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "propagation/contour_solver.hpp"
+#include "propagation/ephemeris.hpp"
+#include "propagation/j2_secular.hpp"
+#include "propagation/tle_secular.hpp"
+#include "propagation/two_body.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace scod {
+namespace {
+
+TEST(GravityModel, PointMassMatchesNewton) {
+  ForceModel none;
+  none.include_j2 = false;
+  const Vec3 r{7000.0, 0.0, 0.0};
+  const Vec3 a = gravity_acceleration(r, none);
+  EXPECT_NEAR(a.x, -kMuEarth / (7000.0 * 7000.0), 1e-12);
+  EXPECT_NEAR(a.y, 0.0, 1e-15);
+  EXPECT_NEAR(a.z, 0.0, 1e-15);
+}
+
+class GravityGradient : public testing::TestWithParam<Vec3> {};
+
+TEST_P(GravityGradient, AccelerationIsPotentialGradient) {
+  // The closed-form J2/J3 accelerations must equal the finite-difference
+  // gradient of the zonal potential — this pins the signs and powers of r
+  // in the hand-derived formulas.
+  const Vec3 r = GetParam();
+  for (const bool with_j3 : {false, true}) {
+    ForceModel model;
+    model.include_j2 = true;
+    model.include_j3 = with_j3;
+    const Vec3 analytic = gravity_acceleration(r, model);
+
+    const double h = 1e-4;  // km
+    auto u = [&](const Vec3& p) { return gravity_potential(p, model); };
+    const Vec3 numeric{
+        (u({r.x + h, r.y, r.z}) - u({r.x - h, r.y, r.z})) / (2.0 * h),
+        (u({r.x, r.y + h, r.z}) - u({r.x, r.y - h, r.z})) / (2.0 * h),
+        (u({r.x, r.y, r.z + h}) - u({r.x, r.y, r.z - h})) / (2.0 * h)};
+    // The 1e-7 relative tolerance is set by the finite-difference
+    // truncation, far below the O(1) error a wrong sign or power of r in
+    // the closed forms would produce.
+    EXPECT_NEAR(analytic.distance(numeric), 0.0, 1e-7 * analytic.norm())
+        << "J3=" << with_j3;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, GravityGradient,
+    testing::Values(Vec3{7000.0, 0.0, 0.0}, Vec3{0.0, 0.0, 7000.0},
+                    Vec3{4000.0, -3500.0, 4200.0}, Vec3{-6500.0, 1000.0, -2500.0},
+                    Vec3{20000.0, 30000.0, 10000.0}));
+
+TEST(Rk4, PointMassStepConservesEnergyLocally) {
+  ForceModel none;
+  none.include_j2 = false;
+  StateVector s{{7000.0, 0.0, 0.0}, {0.0, std::sqrt(kMuEarth / 7000.0), 0.0}};
+  const double e0 = s.velocity.norm2() / 2.0 - kMuEarth / s.position.norm();
+  for (int i = 0; i < 1000; ++i) s = rk4_step(s, 5.0, none);
+  const double e1 = s.velocity.norm2() / 2.0 - kMuEarth / s.position.norm();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-9);
+}
+
+std::vector<Satellite> test_sats() {
+  return {{0, {7000.0, 0.01, 0.9, 1.0, 0.5, 2.0}},
+          {1, {7300.0, 0.05, 1.5, 3.0, 1.0, 0.1}},
+          {2, {26560.0, 0.003, 0.96, 0.2, 4.0, 5.0}}};
+}
+
+TEST(EphemerisSample, ReproducesSourceBetweenKnots) {
+  const ContourKeplerSolver solver;
+  const auto sats = test_sats();
+  const TwoBodyPropagator source(sats, solver);
+  const auto ephemeris = EphemerisPropagator::sample(source, 0.0, 3600.0, 30.0);
+
+  EXPECT_EQ(ephemeris.size(), sats.size());
+  Rng rng(4);
+  for (int k = 0; k < 300; ++k) {
+    const std::size_t sat = rng.uniform_index(sats.size());
+    const double t = rng.uniform(0.0, 3600.0);  // deliberately off-knot
+    const double err = ephemeris.position(sat, t).distance(source.position(sat, t));
+    EXPECT_LT(err, 1e-3) << "sat " << sat << " t " << t;  // < 1 m
+    const StateVector es = ephemeris.state(sat, t);
+    const StateVector ss = source.state(sat, t);
+    EXPECT_LT(es.velocity.distance(ss.velocity), 1e-4);  // < 0.1 m/s
+  }
+}
+
+TEST(EphemerisSample, InterpolationErrorShrinksWithKnotStep) {
+  const ContourKeplerSolver solver;
+  const auto sats = test_sats();
+  const TwoBodyPropagator source(sats, solver);
+  const auto coarse = EphemerisPropagator::sample(source, 0.0, 3600.0, 120.0);
+  const auto fine = EphemerisPropagator::sample(source, 0.0, 3600.0, 15.0);
+
+  double coarse_err = 0.0, fine_err = 0.0;
+  for (double t = 7.0; t < 3600.0; t += 97.0) {
+    coarse_err = std::max(coarse_err,
+                          coarse.position(0, t).distance(source.position(0, t)));
+    fine_err = std::max(fine_err,
+                        fine.position(0, t).distance(source.position(0, t)));
+  }
+  EXPECT_LT(fine_err, coarse_err / 16.0);  // O(h^4): 8x step -> >4096x, allow slack
+}
+
+TEST(EphemerisSample, CoversSpanEdgesWithMargin) {
+  const ContourKeplerSolver solver;
+  const auto sats = test_sats();
+  const TwoBodyPropagator source(sats, solver);
+  const auto ephemeris = EphemerisPropagator::sample(source, 0.0, 600.0, 30.0);
+  // The Brent edge probes reach slightly past the span; those queries must
+  // still be accurate (they sit on the margin knots, not extrapolation).
+  for (double t : {-20.0, 0.0, 600.0, 620.0}) {
+    EXPECT_LT(ephemeris.position(1, t).distance(source.position(1, t)), 1e-3);
+  }
+}
+
+TEST(EphemerisIntegrate, PointMassMatchesAnalyticTwoBody) {
+  const ContourKeplerSolver solver;
+  const auto sats = test_sats();
+  const TwoBodyPropagator analytic(sats, solver);
+
+  ForceModel none;
+  none.include_j2 = false;
+  const auto numeric =
+      EphemerisPropagator::integrate(sats, 0.0, 3600.0, none, 5.0, 30.0);
+
+  for (double t = 0.0; t <= 3600.0; t += 217.0) {
+    for (std::size_t sat = 0; sat < sats.size(); ++sat) {
+      EXPECT_LT(numeric.position(sat, t).distance(analytic.position(sat, t)), 5e-3)
+          << "sat " << sat << " t " << t;
+    }
+  }
+}
+
+TEST(EphemerisIntegrate, J2SecularRatesEmergeFromIntegration) {
+  // Integrate a LEO orbit with J2 for several revolutions and check the
+  // node actually regresses at the first-order analytic rate.
+  const ContourKeplerSolver solver;
+  const std::vector<Satellite> sats{{0, {7000.0, 0.001, 1.0, 2.0, 0.0, 0.0}}};
+  const double day = 86400.0;
+  const auto numeric = EphemerisPropagator::integrate(sats, 0.0, day, {}, 10.0, 60.0);
+
+  const J2Rates rates = j2_secular_rates(sats[0].elements);
+  // Recover the osculating RAAN from the integrated state at t = day.
+  const KeplerElements el_end = elements_from_state(numeric.state(0, day));
+  const double expected_raan = wrap_two_pi(sats[0].elements.raan + rates.raan_rate * day);
+  // Tolerance covers the J2 short-period oscillation of the osculating
+  // RAAN (~1e-3 rad) and the integration margin before t = 0.
+  EXPECT_NEAR(wrap_pi(el_end.raan - expected_raan), 0.0, 0.02)
+      << "raan drift " << rates.raan_rate * day;
+  // And the drift is substantial, so the test is not vacuous.
+  EXPECT_GT(std::abs(rates.raan_rate) * day, 0.05);
+}
+
+TEST(EphemerisIntegrate, ValidatesArguments) {
+  const auto sats = test_sats();
+  EXPECT_THROW(EphemerisPropagator::integrate(sats, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(EphemerisPropagator::integrate(sats, 0.0, 100.0, {}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(EphemerisPropagator::integrate(sats, 0.0, 100.0, {}, 30.0, 10.0),
+               std::invalid_argument);
+  const ContourKeplerSolver solver;
+  const TwoBodyPropagator source(sats, solver);
+  EXPECT_THROW(EphemerisPropagator::sample(source, 10.0, 5.0), std::invalid_argument);
+}
+
+TleRecord make_record(const KeplerElements& el, double ndot_half = 0.0) {
+  TleRecord rec;
+  rec.catalog_number = 1;
+  rec.elements = el;
+  rec.mean_motion_rev_day = 86400.0 / orbital_period(el);
+  rec.mean_motion_dot = ndot_half;
+  return rec;
+}
+
+TEST(TleSecularPropagator, ZeroDragMatchesJ2Secular) {
+  const NewtonKeplerSolver solver;
+  const KeplerElements el{7000.0, 0.002, 1.0, 0.5, 0.3, 1.2};
+  const std::vector<TleRecord> records{make_record(el)};
+  const TleSecularPropagator tle(records, solver);
+
+  const std::vector<Satellite> sats{{0, el}};
+  const J2SecularPropagator j2(sats, solver);
+
+  for (double t = 0.0; t <= 7200.0; t += 1800.0) {
+    EXPECT_LT(tle.position(0, t).distance(j2.position(0, t)), 1e-3)
+        << "t=" << t;
+  }
+}
+
+TEST(TleSecularPropagator, DragDecaysTheOrbit) {
+  const NewtonKeplerSolver solver;
+  const KeplerElements el{6900.0, 0.001, 0.9, 0.0, 0.0, 0.0};
+  // A strongly decaying object: ndot/2 = 5e-4 rev/day^2.
+  const std::vector<TleRecord> records{make_record(el, 5e-4)};
+  const TleSecularPropagator tle(records, solver);
+
+  const double day = 86400.0;
+  const KeplerElements after = tle.elements_at(0, day);
+  EXPECT_LT(after.semi_major_axis, el.semi_major_axis);
+  // n(1 day) = n0 + 2*5e-4 -> da ~ -(2/3) a dn/n ~ -0.3 km.
+  EXPECT_NEAR(el.semi_major_axis - after.semi_major_axis, 0.28, 0.1);
+  // And the object runs ahead of the no-drag prediction along track by
+  // the analytic delta-M arc: (ndot/2) * t^2 = 5e-4 rev after one day,
+  // i.e. 2*pi*5e-4*a ~ 21.7 km.
+  const std::vector<TleRecord> no_drag{make_record(el)};
+  const TleSecularPropagator reference(no_drag, solver);
+  const double offset = tle.position(0, day).distance(reference.position(0, day));
+  EXPECT_NEAR(offset, kTwoPi * 5e-4 * el.semi_major_axis, 2.0);
+}
+
+TEST(TleSecularPropagator, RejectsInvalidRecords) {
+  const NewtonKeplerSolver solver;
+  KeplerElements bad{6000.0, 0.0, 0, 0, 0, 0};
+  TleRecord rec = make_record({7000.0, 0.001, 1.0, 0, 0, 0});
+  rec.elements = bad;
+  const std::vector<TleRecord> records{rec};
+  EXPECT_THROW(TleSecularPropagator(records, solver), std::invalid_argument);
+}
+
+TEST(EphemerisIntegrate, ElementsPreserved) {
+  const auto sats = test_sats();
+  const auto numeric = EphemerisPropagator::integrate(sats, 0.0, 600.0);
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    EXPECT_EQ(numeric.elements(i), sats[i].elements);
+  }
+  EXPECT_GT(numeric.memory_bytes(), 0u);
+  EXPECT_GT(numeric.knot_count(), 10u);
+}
+
+}  // namespace
+}  // namespace scod

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "spatial/cell.hpp"
+#include "spatial/grid_hash_set.hpp"
+#include "util/rng.hpp"
+
+namespace scod {
+namespace {
+
+TEST(GridHashSet, SerialInsertAndFind) {
+  GridHashSet set(16);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.find(123), kNoEntry);
+
+  EXPECT_TRUE(set.insert(123, 7, {1.0, 2.0, 3.0}));
+  EXPECT_EQ(set.size(), 1u);
+
+  const std::uint32_t head = set.find(123);
+  ASSERT_NE(head, kNoEntry);
+  EXPECT_EQ(set.entry(head).satellite, 7u);
+  EXPECT_EQ(set.entry(head).position, Vec3(1.0, 2.0, 3.0));
+  EXPECT_EQ(set.entry(head).next, kNoEntry);
+}
+
+TEST(GridHashSet, MultipleSatellitesPerCellFormLinkedList) {
+  GridHashSet set(16);
+  set.insert(99, 1, {0, 0, 0});
+  set.insert(99, 2, {1, 0, 0});
+  set.insert(99, 3, {2, 0, 0});
+
+  std::set<std::uint32_t> members;
+  for (std::uint32_t e = set.find(99); e != kNoEntry; e = set.entry(e).next) {
+    members.insert(set.entry(e).satellite);
+  }
+  EXPECT_EQ(members, (std::set<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(GridHashSet, DistinctCellsAreIsolated) {
+  GridHashSet set(16);
+  set.insert(10, 1, {});
+  set.insert(20, 2, {});
+  std::uint32_t h10 = set.find(10);
+  std::uint32_t h20 = set.find(20);
+  ASSERT_NE(h10, kNoEntry);
+  ASSERT_NE(h20, kNoEntry);
+  EXPECT_EQ(set.entry(h10).satellite, 1u);
+  EXPECT_EQ(set.entry(h20).satellite, 2u);
+  EXPECT_EQ(set.entry(h10).next, kNoEntry);
+  EXPECT_EQ(set.entry(h20).next, kNoEntry);
+  EXPECT_EQ(set.find(30), kNoEntry);
+}
+
+TEST(GridHashSet, HashCollisionsResolvedByLinearProbing) {
+  // With only 4 entries the slot table has 8+ slots; force many distinct
+  // keys through a tiny table sized for exactly its entry count.
+  GridHashSet set(64, /*slot_factor=*/1.0);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(set.insert(k * 7919, static_cast<std::uint32_t>(k), {}));
+  }
+  EXPECT_EQ(set.size(), 64u);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::uint32_t head = set.find(k * 7919);
+    ASSERT_NE(head, kNoEntry) << k;
+    EXPECT_EQ(set.entry(head).satellite, k);
+  }
+  EXPECT_GE(set.probe_steps(), 0u);
+}
+
+TEST(GridHashSet, EntryPoolExhaustionReported) {
+  GridHashSet set(2);
+  EXPECT_TRUE(set.insert(1, 0, {}));
+  EXPECT_TRUE(set.insert(2, 1, {}));
+  EXPECT_FALSE(set.insert(3, 2, {}));  // pool of 2 exhausted
+}
+
+TEST(GridHashSet, ClearRecyclesEverything) {
+  GridHashSet set(8);
+  set.insert(5, 0, {});
+  set.insert(5, 1, {});
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.find(5), kNoEntry);
+  EXPECT_TRUE(set.insert(5, 2, {}));
+  const std::uint32_t head = set.find(5);
+  EXPECT_EQ(set.entry(head).satellite, 2u);
+  EXPECT_EQ(set.entry(head).next, kNoEntry);
+}
+
+TEST(GridHashSet, RejectsInvalidConfig) {
+  EXPECT_THROW(GridHashSet(0), std::invalid_argument);
+  EXPECT_THROW(GridHashSet(10, 0.5), std::invalid_argument);
+}
+
+TEST(GridHashSet, MemoryProjectionMatchesActual) {
+  GridHashSet set(1000);
+  EXPECT_EQ(set.memory_bytes(), GridHashSet::projected_memory_bytes(1000));
+  EXPECT_GT(set.memory_bytes(), 1000 * sizeof(GridEntry));
+}
+
+class GridHashSetConcurrency : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridHashSetConcurrency, ParallelInsertMatchesReference) {
+  // The paper's insertion phase: many threads CAS-claim slots and push
+  // entries concurrently. Compare the post-barrier content against a
+  // serial reference multimap for several key distributions.
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 20000;
+
+  for (std::uint64_t key_space : {8ull, 512ull, 1ull << 20}) {
+    GridHashSet set(kN);
+    std::vector<std::uint64_t> keys(kN);
+    Rng rng(key_space);
+    for (auto& k : keys) k = rng.uniform_index(key_space);
+
+    pool.parallel_for(kN, [&](std::size_t i) {
+      ASSERT_TRUE(set.insert(keys[i], static_cast<std::uint32_t>(i),
+                             {static_cast<double>(i), 0.0, 0.0}));
+    });
+    ASSERT_EQ(set.size(), kN);
+
+    std::map<std::uint64_t, std::set<std::uint32_t>> reference;
+    for (std::size_t i = 0; i < kN; ++i) reference[keys[i]].insert(i);
+
+    std::size_t total = 0;
+    for (const auto& [key, sats] : reference) {
+      std::set<std::uint32_t> found;
+      for (std::uint32_t e = set.find(key); e != kNoEntry; e = set.entry(e).next) {
+        const GridEntry& entry = set.entry(e);
+        // The entry's payload must be fully visible (release/acquire).
+        ASSERT_DOUBLE_EQ(entry.position.x, static_cast<double>(entry.satellite));
+        found.insert(entry.satellite);
+      }
+      ASSERT_EQ(found, sats) << "cell " << key;
+      total += found.size();
+    }
+    EXPECT_EQ(total, kN);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GridHashSetConcurrency,
+                         testing::Values(1, 2, 4, 8));
+
+TEST(GridHashSet, MoveTransfersContents) {
+  GridHashSet a(8);
+  a.insert(42, 5, {1, 1, 1});
+  GridHashSet b = std::move(a);
+  const std::uint32_t head = b.find(42);
+  ASSERT_NE(head, kNoEntry);
+  EXPECT_EQ(b.entry(head).satellite, 5u);
+  EXPECT_EQ(b.size(), 1u);
+
+  GridHashSet c(4);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_NE(c.find(42), kNoEntry);
+}
+
+TEST(GridHashSet, SlotIterationFindsAllCells) {
+  GridHashSet set(32);
+  std::set<std::uint64_t> keys{3, 77, 1024, 99999};
+  std::uint32_t id = 0;
+  for (std::uint64_t k : keys) set.insert(k, id++, {});
+
+  std::set<std::uint64_t> seen;
+  for (std::size_t s = 0; s < set.slot_count(); ++s) {
+    const std::uint64_t key = set.slot_key(s);
+    if (key == kEmptySlotKey) continue;
+    seen.insert(key);
+    EXPECT_NE(set.slot_head(s), kNoEntry);
+  }
+  EXPECT_EQ(seen, keys);
+}
+
+}  // namespace
+}  // namespace scod

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace scod {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+class ThreadPoolSizes : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadPoolSizes, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 10007;  // prime, exercises ragged chunking
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolSizes, SumMatchesSerial) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 5000;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST_P(ThreadPoolSizes, RangesCoverWithoutOverlap) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 3333;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_ranges(kN, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousThreadCounts, ThreadPoolSizes,
+                         testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadPool, EmptyLoopIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExplicitGrainRespected) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, RunOnAllGivesDistinctIds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> id_hits(pool.thread_count());
+  pool.run_on_all([&](std::size_t id) {
+    ASSERT_LT(id, id_hits.size());
+    id_hits[id].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : id_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialLoopsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(GlobalThreadPool, IsSingleton) {
+  EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
+  EXPECT_GE(global_thread_pool().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace scod

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "orbit/geometry.hpp"
+#include "population/anchors.hpp"
+#include "population/catalog_io.hpp"
+#include "population/generator.hpp"
+#include "population/kde.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace scod {
+namespace {
+
+TEST(Anchors, CatalogIsStableAndValid) {
+  const auto catalog = anchor_catalog();
+  EXPECT_EQ(catalog.size(), 256u);
+  // Anchors are data: repeated calls return the identical set.
+  EXPECT_EQ(anchor_catalog().data(), catalog.data());
+  for (const auto& [a, e] : catalog) {
+    EXPECT_GT(a * (1.0 - e), kEarthRadius + kMinPerigeeAltitude);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 0.95);
+  }
+}
+
+TEST(Anchors, ReproducesCatalogStructure) {
+  // The LEO concentration dominates and a GEO ring exists (Fig. 9).
+  std::size_t leo = 0, geo = 0, heo = 0;
+  for (const auto& [a, e] : anchor_catalog()) {
+    if (a < 8000.0) ++leo;
+    if (std::abs(a - kGeoSemiMajorAxis) < 200.0) ++geo;
+    if (e > 0.5) ++heo;
+  }
+  EXPECT_GT(leo, 180u);  // >70% in LEO
+  EXPECT_GE(geo, 8u);    // visible GEO ring
+  EXPECT_GE(heo, 2u);    // HEO/GTO tail present
+}
+
+TEST(Kde, RejectsEmptyInput) {
+  EXPECT_THROW(BivariateKde(std::span<const std::pair<double, double>>{}),
+               std::invalid_argument);
+}
+
+TEST(Kde, BandwidthFollowsScottsRule) {
+  // For unimodal Gaussian data the robust (MAD-based) scale estimate
+  // coincides with the standard deviation, so Scott's rule applies as-is.
+  std::vector<std::pair<double, double>> pts;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) pts.emplace_back(rng.gaussian(0.0, 2.0),
+                                                  rng.gaussian(5.0, 0.5));
+  const BivariateKde kde(pts);
+  const double factor = std::pow(1000.0, -1.0 / 6.0);
+  EXPECT_NEAR(kde.bandwidth_x(), 2.0 * factor, 0.25);
+  EXPECT_NEAR(kde.bandwidth_y(), 0.5 * factor, 0.06);
+}
+
+TEST(Kde, RobustBandwidthIgnoresFarModes) {
+  // A dominant cluster plus a far-away minority mode: the bandwidth must
+  // reflect the within-cluster scale, not the inter-mode distance — this
+  // is what keeps the LEO/GEO structure of Fig. 9 intact when sampling.
+  std::vector<std::pair<double, double>> pts;
+  Rng rng(8);
+  for (int i = 0; i < 900; ++i) pts.emplace_back(rng.gaussian(7000.0, 100.0), 0.0);
+  for (int i = 0; i < 100; ++i) pts.emplace_back(rng.gaussian(42164.0, 25.0), 0.0);
+  const BivariateKde kde(pts);
+  EXPECT_LT(kde.bandwidth_x(), 300.0);  // plain sigma would be ~10,000 km
+}
+
+TEST(Kde, SamplesFollowTheFit) {
+  std::vector<std::pair<double, double>> pts;
+  Rng gen(2);
+  for (int i = 0; i < 500; ++i) pts.emplace_back(gen.gaussian(10.0, 1.0),
+                                                 gen.gaussian(-3.0, 0.2));
+  const BivariateKde kde(pts);
+  Rng rng(3);
+  RunningStats xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    const auto [x, y] = kde.sample(rng);
+    xs.add(x);
+    ys.add(y);
+  }
+  EXPECT_NEAR(xs.mean(), 10.0, 0.1);
+  EXPECT_NEAR(ys.mean(), -3.0, 0.02);
+}
+
+TEST(Kde, DensityPeaksAtCluster) {
+  std::vector<std::pair<double, double>> pts;
+  Rng gen(4);
+  for (int i = 0; i < 300; ++i) pts.emplace_back(gen.gaussian(0.0, 1.0),
+                                                 gen.gaussian(0.0, 1.0));
+  const BivariateKde kde(pts);
+  EXPECT_GT(kde.density(0.0, 0.0), kde.density(5.0, 5.0));
+  EXPECT_GT(kde.density(0.0, 0.0), 0.0);
+}
+
+TEST(Generator, ProducesRequestedCountOfValidOrbits) {
+  const auto sats = generate_population({5000, 123});
+  ASSERT_EQ(sats.size(), 5000u);
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    EXPECT_EQ(sats[i].id, i);
+    EXPECT_TRUE(is_valid_orbit(sats[i].elements)) << i;
+    EXPECT_GE(perigee_radius(sats[i].elements), kEarthRadius + kMinPerigeeAltitude);
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const auto a = generate_population({200, 9});
+  const auto b = generate_population({200, 9});
+  const auto c = generate_population({200, 10});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].elements, b[i].elements);
+  }
+  // Different seeds give a different population.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].elements == c[i].elements)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, ElementRangesMatchTableII) {
+  // Table II: inclination in [0, pi], RAAN / argp / mean anomaly in
+  // [0, 2 pi); a and e from the KDE.
+  const auto sats = generate_population({20000, 77});
+  RunningStats inc, raan, argp, ma;
+  for (const Satellite& s : sats) {
+    const KeplerElements& el = s.elements;
+    ASSERT_GE(el.inclination, 0.0);
+    ASSERT_LE(el.inclination, kPi);
+    ASSERT_GE(el.raan, 0.0);
+    ASSERT_LT(el.raan, kTwoPi);
+    ASSERT_GE(el.arg_perigee, 0.0);
+    ASSERT_LT(el.arg_perigee, kTwoPi);
+    ASSERT_GE(el.mean_anomaly, 0.0);
+    ASSERT_LT(el.mean_anomaly, kTwoPi);
+    inc.add(el.inclination);
+    raan.add(el.raan);
+    argp.add(el.arg_perigee);
+    ma.add(el.mean_anomaly);
+  }
+  // Uniform distributions: means near the interval midpoints.
+  EXPECT_NEAR(inc.mean(), kPi / 2.0, 0.05);
+  EXPECT_NEAR(raan.mean(), kPi, 0.1);
+  EXPECT_NEAR(argp.mean(), kPi, 0.1);
+  EXPECT_NEAR(ma.mean(), kPi, 0.1);
+}
+
+TEST(Generator, PopulationIsLeoHeavy) {
+  const auto sats = generate_population({5000, 5});
+  std::size_t leo = 0;
+  for (const Satellite& s : sats) {
+    if (s.elements.semi_major_axis < 8000.0) ++leo;
+  }
+  EXPECT_GT(leo, sats.size() * 7 / 10);
+}
+
+TEST(ConstellationShell, WalkerStructure) {
+  const auto shell = generate_constellation_shell(12, 20, 550.0, 0.93, 0.5, 1000);
+  ASSERT_EQ(shell.size(), 240u);
+  EXPECT_EQ(shell.front().id, 1000u);
+  EXPECT_EQ(shell.back().id, 1239u);
+
+  std::set<double> raans;
+  for (const Satellite& s : shell) {
+    EXPECT_NEAR(s.elements.semi_major_axis, kEarthRadius + 550.0, 1e-9);
+    EXPECT_NEAR(s.elements.inclination, 0.93, 1e-12);
+    EXPECT_TRUE(is_valid_orbit(s.elements));
+    raans.insert(s.elements.raan);
+  }
+  EXPECT_EQ(raans.size(), 12u);  // one RAAN per plane
+
+  // In-plane satellites are evenly phased.
+  const double spacing = kTwoPi / 20.0;
+  EXPECT_NEAR(shell[1].elements.mean_anomaly - shell[0].elements.mean_anomaly,
+              spacing, 1e-9);
+}
+
+TEST(DebrisCloud, SpreadsAroundParent) {
+  const KeplerElements parent{7100.0, 0.01, 1.2, 0.5, 1.0, 2.0};
+  const auto cloud = generate_debris_cloud(parent, 500, 1.0, 42, 50);
+  ASSERT_EQ(cloud.size(), 500u);
+  EXPECT_EQ(cloud.front().id, 50u);
+  RunningStats sma;
+  for (const Satellite& s : cloud) {
+    EXPECT_TRUE(is_valid_orbit(s.elements));
+    sma.add(s.elements.semi_major_axis);
+  }
+  EXPECT_NEAR(sma.mean(), parent.semi_major_axis, 10.0);
+  EXPECT_GT(sma.stddev(), 5.0);  // actually spread out
+  EXPECT_LT(sma.stddev(), 100.0);
+}
+
+TEST(CatalogIo, RoundTrip) {
+  const auto original = generate_population({50, 3});
+  const std::string path = testing::TempDir() + "/scod_catalog_test.csv";
+  save_catalog_csv(path, original);
+  const auto loaded = load_catalog_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].elements, original[i].elements);  // full precision
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIo, RejectsMalformedInput) {
+  const std::string path = testing::TempDir() + "/scod_catalog_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "id,semi_major_axis_km,eccentricity,inclination_rad,raan_rad,"
+           "arg_perigee_rad,mean_anomaly_rad\n";
+    out << "0,7000,0.01,0.5\n";  // too few fields
+  }
+  EXPECT_THROW(load_catalog_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "0,not_a_number,0.01,0.5,0,0,0\n";
+  }
+  EXPECT_THROW(load_catalog_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "0,6000,0.0,0.5,0,0,0\n";  // sub-surface orbit
+  }
+  EXPECT_THROW(load_catalog_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_catalog_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scod

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "orbit/anomaly.hpp"
+#include "orbit/geometry.hpp"
+#include "propagation/contour_solver.hpp"
+#include "propagation/j2_secular.hpp"
+#include "propagation/kepler_solver.hpp"
+#include "propagation/two_body.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+namespace {
+
+struct SolverCase {
+  double mean_anomaly;
+  double eccentricity;
+};
+
+class KeplerSolvers : public testing::TestWithParam<SolverCase> {};
+
+TEST_P(KeplerSolvers, NewtonSatisfiesKeplersEquation) {
+  const auto [m, e] = GetParam();
+  const NewtonKeplerSolver solver;
+  const double big_e = solver.eccentric_anomaly(m, e);
+  EXPECT_LT(kepler_residual(big_e, e, m), 1e-12);
+}
+
+TEST_P(KeplerSolvers, ContourSatisfiesKeplersEquation) {
+  const auto [m, e] = GetParam();
+  const ContourKeplerSolver solver;
+  const double big_e = solver.eccentric_anomaly(m, e);
+  EXPECT_LT(kepler_residual(big_e, e, m), 1e-12);
+}
+
+TEST_P(KeplerSolvers, AllSolversAgree) {
+  const auto [m, e] = GetParam();
+  const NewtonKeplerSolver newton;
+  const BisectionKeplerSolver bisection;
+  const ContourKeplerSolver contour;
+  const double reference = bisection.eccentric_anomaly(m, e);
+  EXPECT_NEAR(wrap_pi(newton.eccentric_anomaly(m, e) - reference), 0.0, 1e-9);
+  EXPECT_NEAR(wrap_pi(contour.eccentric_anomaly(m, e) - reference), 0.0, 1e-9);
+}
+
+std::vector<SolverCase> solver_grid() {
+  std::vector<SolverCase> cases;
+  for (double e : {0.0, 1e-6, 0.0025, 0.1, 0.5, 0.9, 0.99}) {
+    for (int k = 0; k <= 16; ++k) {
+      cases.push_back({kTwoPi * k / 16.0, e});
+    }
+  }
+  // Awkward spots: near 0, pi and 2 pi.
+  for (double e : {0.3, 0.95}) {
+    for (double m : {1e-9, 1e-4, kPi - 1e-6, kPi + 1e-6, kTwoPi - 1e-9, -2.5, 17.0}) {
+      cases.push_back({m, e});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(MeanAnomalyEccentricityGrid, KeplerSolvers,
+                         testing::ValuesIn(solver_grid()));
+
+TEST(ContourSolver, UnpolishedQuadratureIsAccurate) {
+  // The contour quadrature alone (no Newton polish) must already converge
+  // geometrically with the node count.
+  const ContourKeplerSolver coarse(8, /*polish=*/false);
+  const ContourKeplerSolver fine(24, /*polish=*/false);
+  for (double e : {0.01, 0.3, 0.7}) {
+    for (double m : {0.4, 1.3, 2.8}) {
+      EXPECT_LT(kepler_residual(coarse.eccentric_anomaly(m, e), e, m), 1e-4);
+      EXPECT_LT(kepler_residual(fine.eccentric_anomaly(m, e), e, m), 1e-10);
+    }
+  }
+}
+
+TEST(ContourSolver, RejectsTooFewPoints) {
+  EXPECT_THROW(ContourKeplerSolver(3), std::invalid_argument);
+}
+
+TEST(ContourSolver, MirrorSymmetry) {
+  const ContourKeplerSolver solver;
+  for (double e : {0.2, 0.6}) {
+    for (double m : {0.5, 1.5, 2.5}) {
+      const double e1 = solver.eccentric_anomaly(m, e);
+      const double e2 = solver.eccentric_anomaly(kTwoPi - m, e);
+      EXPECT_NEAR(e1 + e2, kTwoPi, 1e-10);
+    }
+  }
+}
+
+Satellite make_sat(std::uint32_t id, KeplerElements el) { return {id, el}; }
+
+TEST(TwoBodyPropagator, PeriodicityAndRadiusBounds) {
+  const NewtonKeplerSolver solver;
+  const std::vector<Satellite> sats{make_sat(0, {7200.0, 0.05, 1.0, 0.5, 1.0, 0.3})};
+  const TwoBodyPropagator prop(sats, solver);
+  const double period = orbital_period(sats[0].elements);
+
+  const Vec3 p0 = prop.position(0, 100.0);
+  const Vec3 p1 = prop.position(0, 100.0 + period);
+  EXPECT_NEAR(p0.distance(p1), 0.0, 1e-5);
+
+  for (double t = 0.0; t < period; t += period / 37.0) {
+    const double r = prop.position(0, t).norm();
+    EXPECT_GE(r, perigee_radius(sats[0].elements) - 1e-6);
+    EXPECT_LE(r, apogee_radius(sats[0].elements) + 1e-6);
+  }
+}
+
+TEST(TwoBodyPropagator, VelocityMatchesFiniteDifference) {
+  const NewtonKeplerSolver solver;
+  const std::vector<Satellite> sats{make_sat(0, {6900.0, 0.02, 1.4, 2.0, 0.7, 1.1})};
+  const TwoBodyPropagator prop(sats, solver);
+  const double t = 500.0, dt = 1e-3;
+  const Vec3 numeric =
+      (prop.position(0, t + dt) - prop.position(0, t - dt)) / (2.0 * dt);
+  const Vec3 analytic = prop.state(0, t).velocity;
+  EXPECT_NEAR(numeric.distance(analytic), 0.0, 1e-5);
+}
+
+TEST(TwoBodyPropagator, EnergyConservedAlongTrajectory) {
+  const ContourKeplerSolver solver;
+  const std::vector<Satellite> sats{make_sat(7, {8500.0, 0.15, 0.6, 3.0, 2.5, 4.0})};
+  const TwoBodyPropagator prop(sats, solver);
+  const double expected = -kMuEarth / (2.0 * sats[0].elements.semi_major_axis);
+  for (double t = 0.0; t < 7000.0; t += 333.0) {
+    const StateVector s = prop.state(0, t);
+    const double energy = s.velocity.norm2() / 2.0 - kMuEarth / s.position.norm();
+    EXPECT_NEAR(energy, expected, 1e-8);
+  }
+}
+
+TEST(TwoBodyPropagator, RejectsInvalidOrbits) {
+  const NewtonKeplerSolver solver;
+  const std::vector<Satellite> bad{make_sat(3, {6000.0, 0.0, 0, 0, 0, 0})};
+  EXPECT_THROW(TwoBodyPropagator(bad, solver), std::invalid_argument);
+}
+
+TEST(TwoBodyPropagator, CacheMatchesElements) {
+  const NewtonKeplerSolver solver;
+  const KeplerElements el{7000.0, 0.01, 0.9, 1.2, 0.4, 2.1};
+  const std::vector<Satellite> sats{make_sat(0, el)};
+  const TwoBodyPropagator prop(sats, solver);
+  EXPECT_DOUBLE_EQ(prop.cache(0).mean_motion, mean_motion(el));
+  EXPECT_DOUBLE_EQ(prop.cache(0).semi_latus, semi_latus_rectum(el));
+  EXPECT_EQ(prop.elements(0), el);
+  EXPECT_EQ(prop.size(), 1u);
+}
+
+TEST(J2Rates, SignsMatchTheory) {
+  // Prograde orbit: node regresses (negative RAAN rate); below the
+  // critical inclination (63.4 deg) the perigee advances.
+  const KeplerElements prograde{7000.0, 0.01, 0.5, 0.0, 0.0, 0.0};
+  const J2Rates r1 = j2_secular_rates(prograde);
+  EXPECT_LT(r1.raan_rate, 0.0);
+  EXPECT_GT(r1.arg_perigee_rate, 0.0);
+
+  // Retrograde orbit: node precesses forward.
+  const KeplerElements retrograde{7000.0, 0.01, 2.6, 0.0, 0.0, 0.0};
+  EXPECT_GT(j2_secular_rates(retrograde).raan_rate, 0.0);
+
+  // At the critical inclination the apsidal rotation vanishes.
+  const double critical = std::acos(std::sqrt(1.0 / 5.0));
+  const KeplerElements crit{7000.0, 0.01, critical, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(j2_secular_rates(crit).arg_perigee_rate, 0.0, 1e-12);
+}
+
+TEST(J2Rates, SunSynchronousMagnitude) {
+  // A ~800 km SSO at i ~ 98.6 deg regresses ~360 deg/year eastward.
+  const KeplerElements sso{kEarthRadius + 800.0, 0.001, 98.6 * kPi / 180.0, 0, 0, 0};
+  const J2Rates rates = j2_secular_rates(sso);
+  const double year = 365.25 * 86400.0;
+  EXPECT_NEAR(rates.raan_rate * year, kTwoPi, 0.05 * kTwoPi);
+}
+
+TEST(J2SecularPropagator, ReducesToTwoBodyWhenRatesSmall) {
+  // For GEO the J2 rates are tiny; the divergence from the two-body path
+  // must stay within the analytic angular-drift bound (rate * t * radius).
+  const NewtonKeplerSolver solver;
+  const KeplerElements el{42164.0, 0.0005, 0.01, 1.0, 2.0, 3.0};
+  const std::vector<Satellite> sats{make_sat(0, el)};
+  const TwoBodyPropagator two_body(sats, solver);
+  const J2SecularPropagator j2(sats, solver);
+
+  const J2Rates rates = j2_secular_rates(el);
+  const double angular_rate = std::abs(rates.raan_rate) +
+                              std::abs(rates.arg_perigee_rate) +
+                              std::abs(rates.mean_anomaly_rate - mean_motion(el));
+  for (double t = 200.0; t <= 600.0; t += 200.0) {
+    const double drift = two_body.position(0, t).distance(j2.position(0, t));
+    const double bound = 1.5 * angular_rate * t * apogee_radius(el);
+    EXPECT_LT(drift, bound);
+    EXPECT_LT(drift, 0.5);  // GEO J2 drift stays sub-km over 10 minutes
+  }
+}
+
+TEST(J2SecularPropagator, NodePrecessesOverTime) {
+  const NewtonKeplerSolver solver;
+  const KeplerElements el{7000.0, 0.001, 0.9, 1.0, 0.0, 0.0};
+  const std::vector<Satellite> sats{make_sat(0, el)};
+  const J2SecularPropagator j2(sats, solver);
+  const TwoBodyPropagator two_body(sats, solver);
+
+  // After a day the orbital planes should measurably differ.
+  const double day = 86400.0;
+  const double drift = two_body.position(0, day).distance(j2.position(0, day));
+  EXPECT_GT(drift, 10.0);  // tens of km of nodal drift per day in LEO
+
+  // The J2 position must still lie at the correct radius band.
+  const double r = j2.position(0, day).norm();
+  EXPECT_GE(r, perigee_radius(el) - 1.0);
+  EXPECT_LE(r, apogee_radius(el) + 1.0);
+}
+
+TEST(Propagator, DistanceIsSymmetric) {
+  const NewtonKeplerSolver solver;
+  const std::vector<Satellite> sats{make_sat(0, {7000.0, 0.01, 0.9, 1.2, 0.4, 2.1}),
+                                    make_sat(1, {7050.0, 0.02, 1.1, 0.2, 1.4, 0.1})};
+  const TwoBodyPropagator prop(sats, solver);
+  EXPECT_DOUBLE_EQ(prop.distance(0, 1, 321.0), prop.distance(1, 0, 321.0));
+  EXPECT_DOUBLE_EQ(prop.distance(0, 0, 321.0), 0.0);
+}
+
+}  // namespace
+}  // namespace scod

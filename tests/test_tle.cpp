@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "orbit/geometry.hpp"
+#include "population/tle.hpp"
+#include "util/constants.hpp"
+
+namespace scod {
+namespace {
+
+TleRecord sample_record() {
+  TleRecord rec;
+  rec.name = "TESTSAT 1";
+  rec.catalog_number = 25544;
+  rec.classification = 'U';
+  rec.intl_designator = "98067A";
+  rec.epoch_year = 2021;
+  rec.epoch_day = 98.76543210;
+  rec.mean_motion_dot = 2.182e-5;
+  rec.mean_motion_ddot = 0.0;
+  rec.bstar = 3.8792e-5;
+  rec.element_set = 999;
+  rec.revolution_number = 27384;
+  rec.mean_motion_rev_day = 15.48815328;
+  rec.elements.inclination = 51.6442 * kPi / 180.0;
+  rec.elements.raan = 147.4611 * kPi / 180.0;
+  rec.elements.eccentricity = 0.0003572;
+  rec.elements.arg_perigee = 91.2029 * kPi / 180.0;
+  rec.elements.mean_anomaly = 268.9446 * kPi / 180.0;
+  // a is derived from the mean motion on parse; fill it for symmetry.
+  const double n = rec.mean_motion_rev_day * kTwoPi / 86400.0;
+  rec.elements.semi_major_axis = std::cbrt(kMuEarth / (n * n));
+  return rec;
+}
+
+TEST(TleChecksum, CountsDigitsAndMinus) {
+  EXPECT_EQ(tle_checksum("0000000000"), 0);
+  EXPECT_EQ(tle_checksum("123"), 6);
+  EXPECT_EQ(tle_checksum("1-2-3"), 8);   // minus counts as 1
+  EXPECT_EQ(tle_checksum("19"), 0);      // 10 mod 10
+  EXPECT_EQ(tle_checksum("abc def"), 0); // letters/spaces ignored
+}
+
+TEST(TleFormat, ProducesValidLines) {
+  const auto [l1, l2] = format_tle(sample_record());
+  ASSERT_EQ(l1.size(), 69u);
+  ASSERT_EQ(l2.size(), 69u);
+  EXPECT_EQ(l1[0], '1');
+  EXPECT_EQ(l2[0], '2');
+  EXPECT_EQ(tle_checksum(l1), l1[68] - '0');
+  EXPECT_EQ(tle_checksum(l2), l2[68] - '0');
+  EXPECT_EQ(l1.substr(2, 5), "25544");
+  EXPECT_EQ(l2.substr(2, 5), "25544");
+}
+
+TEST(TleRoundTrip, AllFieldsSurvive) {
+  const TleRecord original = sample_record();
+  const auto [l1, l2] = format_tle(original);
+  const TleRecord parsed = parse_tle(l1, l2, original.name);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.catalog_number, original.catalog_number);
+  EXPECT_EQ(parsed.classification, original.classification);
+  EXPECT_EQ(parsed.intl_designator, original.intl_designator);
+  EXPECT_EQ(parsed.epoch_year, original.epoch_year);
+  EXPECT_NEAR(parsed.epoch_day, original.epoch_day, 1e-8);
+  EXPECT_NEAR(parsed.mean_motion_dot, original.mean_motion_dot, 1e-8);
+  EXPECT_NEAR(parsed.bstar, original.bstar, original.bstar * 1e-4);
+  EXPECT_EQ(parsed.element_set, original.element_set);
+  EXPECT_EQ(parsed.revolution_number, original.revolution_number);
+  EXPECT_NEAR(parsed.mean_motion_rev_day, original.mean_motion_rev_day, 1e-7);
+
+  const KeplerElements& pe = parsed.elements;
+  const KeplerElements& oe = original.elements;
+  EXPECT_NEAR(pe.inclination, oe.inclination, 1e-5);
+  EXPECT_NEAR(pe.raan, oe.raan, 1e-5);
+  EXPECT_NEAR(pe.eccentricity, oe.eccentricity, 1e-7);
+  EXPECT_NEAR(pe.arg_perigee, oe.arg_perigee, 1e-5);
+  EXPECT_NEAR(pe.mean_anomaly, oe.mean_anomaly, 1e-5);
+  EXPECT_NEAR(pe.semi_major_axis, oe.semi_major_axis, 1e-4);
+}
+
+TEST(TleParse, DerivesSemiMajorAxisFromMeanMotion) {
+  const auto [l1, l2] = format_tle(sample_record());
+  const TleRecord parsed = parse_tle(l1, l2);
+  // 15.49 rev/day is ISS-like: a ~ 6795 km, ~420 km altitude.
+  EXPECT_NEAR(parsed.elements.semi_major_axis, 6795.0, 15.0);
+  EXPECT_TRUE(is_valid_orbit(parsed.elements));
+}
+
+TEST(TleParse, EpochCenturyRule) {
+  TleRecord rec = sample_record();
+  rec.epoch_year = 1999;
+  auto [l1, l2] = format_tle(rec);
+  EXPECT_EQ(parse_tle(l1, l2).epoch_year, 1999);
+  rec.epoch_year = 2056;
+  std::tie(l1, l2) = format_tle(rec);
+  EXPECT_EQ(parse_tle(l1, l2).epoch_year, 2056);
+}
+
+TEST(TleParse, NegativeExponentFieldsAndNdot) {
+  TleRecord rec = sample_record();
+  rec.bstar = -4.56e-6;
+  rec.mean_motion_dot = -1.5e-6;
+  const auto [l1, l2] = format_tle(rec);
+  const TleRecord parsed = parse_tle(l1, l2);
+  EXPECT_NEAR(parsed.bstar, rec.bstar, std::abs(rec.bstar) * 1e-4);
+  EXPECT_NEAR(parsed.mean_motion_dot, rec.mean_motion_dot, 1e-9);
+}
+
+TEST(TleParse, RejectsCorruptedLines) {
+  const auto [l1, l2] = format_tle(sample_record());
+
+  // Flipped digit -> checksum failure.
+  std::string bad = l1;
+  bad[20] = bad[20] == '0' ? '1' : '0';
+  EXPECT_THROW(parse_tle(bad, l2), std::runtime_error);
+
+  // Wrong line markers.
+  std::string swapped = l1;
+  swapped[0] = '2';
+  EXPECT_THROW(parse_tle(swapped, l2), std::runtime_error);
+
+  // Truncated.
+  EXPECT_THROW(parse_tle(l1.substr(0, 40), l2), std::runtime_error);
+
+  // Mismatched catalog numbers (rebuild line 2 with another satnum and a
+  // fixed-up checksum).
+  TleRecord other = sample_record();
+  other.catalog_number = 11111;
+  const auto [o1, o2] = format_tle(other);
+  EXPECT_THROW(parse_tle(l1, o2), std::runtime_error);
+}
+
+TEST(TleFile, LoadsTwoAndThreeLineFormats) {
+  const TleRecord rec_a = sample_record();
+  TleRecord rec_b = sample_record();
+  rec_b.name.clear();
+  rec_b.catalog_number = 43013;
+  rec_b.mean_motion_rev_day = 14.2;
+  rec_b.revolution_number = 100;
+
+  const std::string path = testing::TempDir() + "/scod_tle_test.txt";
+  {
+    std::ofstream out(path);
+    const auto [a1, a2] = format_tle(rec_a);
+    out << rec_a.name << "\n" << a1 << "\n" << a2 << "\n";
+    out << "\n";  // blank lines are tolerated
+    const auto [b1, b2] = format_tle(rec_b);
+    out << b1 << "\n" << b2 << "\n";
+  }
+
+  const auto records = load_tle_file(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, rec_a.name);
+  EXPECT_EQ(records[0].catalog_number, rec_a.catalog_number);
+  EXPECT_EQ(records[1].name, "");
+  EXPECT_EQ(records[1].catalog_number, 43013u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(load_tle_file("/nonexistent/tle.txt"), std::runtime_error);
+}
+
+TEST(TleFile, ReportsLineNumberOfBadEntry) {
+  const std::string path = testing::TempDir() + "/scod_tle_bad.txt";
+  {
+    std::ofstream out(path);
+    const auto [l1, l2] = format_tle(sample_record());
+    std::string corrupted = l2;
+    corrupted[30] = 'x';
+    out << l1 << "\n" << corrupted << "\n";
+  }
+  try {
+    load_tle_file(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TleToSatellite, UsesGivenIndex) {
+  const TleRecord rec = sample_record();
+  const Satellite sat = to_satellite(rec, 42);
+  EXPECT_EQ(sat.id, 42u);
+  EXPECT_EQ(sat.elements, rec.elements);
+}
+
+}  // namespace
+}  // namespace scod
