@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cube_method.dir/bench_cube_method.cpp.o"
+  "CMakeFiles/bench_cube_method.dir/bench_cube_method.cpp.o.d"
+  "bench_cube_method"
+  "bench_cube_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cube_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_cellsize.dir/bench_eq1_cellsize.cpp.o"
+  "CMakeFiles/bench_eq1_cellsize.dir/bench_eq1_cellsize.cpp.o.d"
+  "bench_eq1_cellsize"
+  "bench_eq1_cellsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_cellsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

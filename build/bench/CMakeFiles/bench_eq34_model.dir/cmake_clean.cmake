@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq34_model.dir/bench_eq34_model.cpp.o"
+  "CMakeFiles/bench_eq34_model.dir/bench_eq34_model.cpp.o.d"
+  "bench_eq34_model"
+  "bench_eq34_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq34_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_distribution.dir/bench_fig9_distribution.cpp.o"
+  "CMakeFiles/bench_fig9_distribution.dir/bench_fig9_distribution.cpp.o.d"
+  "bench_fig9_distribution"
+  "bench_fig9_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

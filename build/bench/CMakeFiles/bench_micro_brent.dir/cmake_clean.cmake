@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_brent.dir/bench_micro_brent.cpp.o"
+  "CMakeFiles/bench_micro_brent.dir/bench_micro_brent.cpp.o.d"
+  "bench_micro_brent"
+  "bench_micro_brent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_brent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kepler.dir/bench_micro_kepler.cpp.o"
+  "CMakeFiles/bench_micro_kepler.dir/bench_micro_kepler.cpp.o.d"
+  "bench_micro_kepler"
+  "bench_micro_kepler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_population.dir/bench_table2_population.cpp.o"
+  "CMakeFiles/bench_table2_population.dir/bench_table2_population.cpp.o.d"
+  "bench_table2_population"
+  "bench_table2_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

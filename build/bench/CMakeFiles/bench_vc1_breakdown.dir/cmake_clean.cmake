@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc1_breakdown.dir/bench_vc1_breakdown.cpp.o"
+  "CMakeFiles/bench_vc1_breakdown.dir/bench_vc1_breakdown.cpp.o.d"
+  "bench_vc1_breakdown"
+  "bench_vc1_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc2_threads.dir/bench_vc2_threads.cpp.o"
+  "CMakeFiles/bench_vc2_threads.dir/bench_vc2_threads.cpp.o.d"
+  "bench_vc2_threads"
+  "bench_vc2_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc2_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

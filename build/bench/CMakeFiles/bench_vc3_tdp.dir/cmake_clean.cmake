@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc3_tdp.dir/bench_vc3_tdp.cpp.o"
+  "CMakeFiles/bench_vc3_tdp.dir/bench_vc3_tdp.cpp.o.d"
+  "bench_vc3_tdp"
+  "bench_vc3_tdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc3_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vd_accuracy.dir/bench_vd_accuracy.cpp.o"
+  "CMakeFiles/bench_vd_accuracy.dir/bench_vd_accuracy.cpp.o.d"
+  "bench_vd_accuracy"
+  "bench_vd_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vd_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_screening.dir/catalog_screening.cpp.o"
+  "CMakeFiles/catalog_screening.dir/catalog_screening.cpp.o.d"
+  "catalog_screening"
+  "catalog_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdm_pipeline.dir/cdm_pipeline.cpp.o"
+  "CMakeFiles/cdm_pipeline.dir/cdm_pipeline.cpp.o.d"
+  "cdm_pipeline"
+  "cdm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debris_cloud.dir/debris_cloud.cpp.o"
+  "CMakeFiles/debris_cloud.dir/debris_cloud.cpp.o.d"
+  "debris_cloud"
+  "debris_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debris_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

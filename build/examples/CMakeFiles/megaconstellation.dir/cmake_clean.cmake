@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megaconstellation.dir/megaconstellation.cpp.o"
+  "CMakeFiles/megaconstellation.dir/megaconstellation.cpp.o.d"
+  "megaconstellation"
+  "megaconstellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megaconstellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_assessment.dir/cdm.cpp.o"
+  "CMakeFiles/scod_assessment.dir/cdm.cpp.o.d"
+  "CMakeFiles/scod_assessment.dir/geometry.cpp.o"
+  "CMakeFiles/scod_assessment.dir/geometry.cpp.o.d"
+  "CMakeFiles/scod_assessment.dir/probability.cpp.o"
+  "CMakeFiles/scod_assessment.dir/probability.cpp.o.d"
+  "CMakeFiles/scod_assessment.dir/rtn.cpp.o"
+  "CMakeFiles/scod_assessment.dir/rtn.cpp.o.d"
+  "libscod_assessment.a"
+  "libscod_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

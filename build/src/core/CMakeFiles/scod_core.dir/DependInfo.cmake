@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/grid_pipeline.cpp" "src/core/CMakeFiles/scod_core.dir/grid_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/grid_pipeline.cpp.o.d"
+  "/root/repo/src/core/grid_screener.cpp" "src/core/CMakeFiles/scod_core.dir/grid_screener.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/grid_screener.cpp.o.d"
+  "/root/repo/src/core/hybrid_screener.cpp" "src/core/CMakeFiles/scod_core.dir/hybrid_screener.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/hybrid_screener.cpp.o.d"
+  "/root/repo/src/core/legacy_screener.cpp" "src/core/CMakeFiles/scod_core.dir/legacy_screener.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/legacy_screener.cpp.o.d"
+  "/root/repo/src/core/partitioned.cpp" "src/core/CMakeFiles/scod_core.dir/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/partitioned.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/scod_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/screen.cpp" "src/core/CMakeFiles/scod_core.dir/screen.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/screen.cpp.o.d"
+  "/root/repo/src/core/sieve_screener.cpp" "src/core/CMakeFiles/scod_core.dir/sieve_screener.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/sieve_screener.cpp.o.d"
+  "/root/repo/src/core/uncertainty.cpp" "src/core/CMakeFiles/scod_core.dir/uncertainty.cpp.o" "gcc" "src/core/CMakeFiles/scod_core.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/scod_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/scod_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/scod_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/scod_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/scod_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/scod_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/scod_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_core.dir/grid_pipeline.cpp.o"
+  "CMakeFiles/scod_core.dir/grid_pipeline.cpp.o.d"
+  "CMakeFiles/scod_core.dir/grid_screener.cpp.o"
+  "CMakeFiles/scod_core.dir/grid_screener.cpp.o.d"
+  "CMakeFiles/scod_core.dir/hybrid_screener.cpp.o"
+  "CMakeFiles/scod_core.dir/hybrid_screener.cpp.o.d"
+  "CMakeFiles/scod_core.dir/legacy_screener.cpp.o"
+  "CMakeFiles/scod_core.dir/legacy_screener.cpp.o.d"
+  "CMakeFiles/scod_core.dir/partitioned.cpp.o"
+  "CMakeFiles/scod_core.dir/partitioned.cpp.o.d"
+  "CMakeFiles/scod_core.dir/report.cpp.o"
+  "CMakeFiles/scod_core.dir/report.cpp.o.d"
+  "CMakeFiles/scod_core.dir/screen.cpp.o"
+  "CMakeFiles/scod_core.dir/screen.cpp.o.d"
+  "CMakeFiles/scod_core.dir/sieve_screener.cpp.o"
+  "CMakeFiles/scod_core.dir/sieve_screener.cpp.o.d"
+  "CMakeFiles/scod_core.dir/uncertainty.cpp.o"
+  "CMakeFiles/scod_core.dir/uncertainty.cpp.o.d"
+  "libscod_core.a"
+  "libscod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

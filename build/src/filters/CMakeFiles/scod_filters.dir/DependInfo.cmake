@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/apogee_perigee.cpp" "src/filters/CMakeFiles/scod_filters.dir/apogee_perigee.cpp.o" "gcc" "src/filters/CMakeFiles/scod_filters.dir/apogee_perigee.cpp.o.d"
+  "/root/repo/src/filters/coplanarity.cpp" "src/filters/CMakeFiles/scod_filters.dir/coplanarity.cpp.o" "gcc" "src/filters/CMakeFiles/scod_filters.dir/coplanarity.cpp.o.d"
+  "/root/repo/src/filters/dense_scan.cpp" "src/filters/CMakeFiles/scod_filters.dir/dense_scan.cpp.o" "gcc" "src/filters/CMakeFiles/scod_filters.dir/dense_scan.cpp.o.d"
+  "/root/repo/src/filters/orbit_path.cpp" "src/filters/CMakeFiles/scod_filters.dir/orbit_path.cpp.o" "gcc" "src/filters/CMakeFiles/scod_filters.dir/orbit_path.cpp.o.d"
+  "/root/repo/src/filters/time_windows.cpp" "src/filters/CMakeFiles/scod_filters.dir/time_windows.cpp.o" "gcc" "src/filters/CMakeFiles/scod_filters.dir/time_windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pca/CMakeFiles/scod_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/scod_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/scod_population.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

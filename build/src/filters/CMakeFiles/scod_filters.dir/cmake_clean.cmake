@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_filters.dir/apogee_perigee.cpp.o"
+  "CMakeFiles/scod_filters.dir/apogee_perigee.cpp.o.d"
+  "CMakeFiles/scod_filters.dir/coplanarity.cpp.o"
+  "CMakeFiles/scod_filters.dir/coplanarity.cpp.o.d"
+  "CMakeFiles/scod_filters.dir/dense_scan.cpp.o"
+  "CMakeFiles/scod_filters.dir/dense_scan.cpp.o.d"
+  "CMakeFiles/scod_filters.dir/orbit_path.cpp.o"
+  "CMakeFiles/scod_filters.dir/orbit_path.cpp.o.d"
+  "CMakeFiles/scod_filters.dir/time_windows.cpp.o"
+  "CMakeFiles/scod_filters.dir/time_windows.cpp.o.d"
+  "libscod_filters.a"
+  "libscod_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

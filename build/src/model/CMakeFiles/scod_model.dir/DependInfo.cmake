@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/conjunction_model.cpp" "src/model/CMakeFiles/scod_model.dir/conjunction_model.cpp.o" "gcc" "src/model/CMakeFiles/scod_model.dir/conjunction_model.cpp.o.d"
+  "/root/repo/src/model/powerlaw_fit.cpp" "src/model/CMakeFiles/scod_model.dir/powerlaw_fit.cpp.o" "gcc" "src/model/CMakeFiles/scod_model.dir/powerlaw_fit.cpp.o.d"
+  "/root/repo/src/model/sizing.cpp" "src/model/CMakeFiles/scod_model.dir/sizing.cpp.o" "gcc" "src/model/CMakeFiles/scod_model.dir/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

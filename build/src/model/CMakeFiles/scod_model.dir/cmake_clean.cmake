@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_model.dir/conjunction_model.cpp.o"
+  "CMakeFiles/scod_model.dir/conjunction_model.cpp.o.d"
+  "CMakeFiles/scod_model.dir/powerlaw_fit.cpp.o"
+  "CMakeFiles/scod_model.dir/powerlaw_fit.cpp.o.d"
+  "CMakeFiles/scod_model.dir/sizing.cpp.o"
+  "CMakeFiles/scod_model.dir/sizing.cpp.o.d"
+  "libscod_model.a"
+  "libscod_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/anomaly.cpp" "src/orbit/CMakeFiles/scod_orbit.dir/anomaly.cpp.o" "gcc" "src/orbit/CMakeFiles/scod_orbit.dir/anomaly.cpp.o.d"
+  "/root/repo/src/orbit/frames.cpp" "src/orbit/CMakeFiles/scod_orbit.dir/frames.cpp.o" "gcc" "src/orbit/CMakeFiles/scod_orbit.dir/frames.cpp.o.d"
+  "/root/repo/src/orbit/geometry.cpp" "src/orbit/CMakeFiles/scod_orbit.dir/geometry.cpp.o" "gcc" "src/orbit/CMakeFiles/scod_orbit.dir/geometry.cpp.o.d"
+  "/root/repo/src/orbit/state.cpp" "src/orbit/CMakeFiles/scod_orbit.dir/state.cpp.o" "gcc" "src/orbit/CMakeFiles/scod_orbit.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

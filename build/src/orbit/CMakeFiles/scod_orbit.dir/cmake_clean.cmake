@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_orbit.dir/anomaly.cpp.o"
+  "CMakeFiles/scod_orbit.dir/anomaly.cpp.o.d"
+  "CMakeFiles/scod_orbit.dir/frames.cpp.o"
+  "CMakeFiles/scod_orbit.dir/frames.cpp.o.d"
+  "CMakeFiles/scod_orbit.dir/geometry.cpp.o"
+  "CMakeFiles/scod_orbit.dir/geometry.cpp.o.d"
+  "CMakeFiles/scod_orbit.dir/state.cpp.o"
+  "CMakeFiles/scod_orbit.dir/state.cpp.o.d"
+  "libscod_orbit.a"
+  "libscod_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

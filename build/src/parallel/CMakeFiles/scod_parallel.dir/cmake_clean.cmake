@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_parallel.dir/device.cpp.o"
+  "CMakeFiles/scod_parallel.dir/device.cpp.o.d"
+  "CMakeFiles/scod_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/scod_parallel.dir/thread_pool.cpp.o.d"
+  "libscod_parallel.a"
+  "libscod_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pca/refine.cpp" "src/pca/CMakeFiles/scod_pca.dir/refine.cpp.o" "gcc" "src/pca/CMakeFiles/scod_pca.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/propagation/CMakeFiles/scod_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/scod_population.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_pca.dir/refine.cpp.o"
+  "CMakeFiles/scod_pca.dir/refine.cpp.o.d"
+  "libscod_pca.a"
+  "libscod_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

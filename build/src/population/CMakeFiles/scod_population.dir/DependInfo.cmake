@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/population/anchors.cpp" "src/population/CMakeFiles/scod_population.dir/anchors.cpp.o" "gcc" "src/population/CMakeFiles/scod_population.dir/anchors.cpp.o.d"
+  "/root/repo/src/population/catalog_io.cpp" "src/population/CMakeFiles/scod_population.dir/catalog_io.cpp.o" "gcc" "src/population/CMakeFiles/scod_population.dir/catalog_io.cpp.o.d"
+  "/root/repo/src/population/generator.cpp" "src/population/CMakeFiles/scod_population.dir/generator.cpp.o" "gcc" "src/population/CMakeFiles/scod_population.dir/generator.cpp.o.d"
+  "/root/repo/src/population/kde.cpp" "src/population/CMakeFiles/scod_population.dir/kde.cpp.o" "gcc" "src/population/CMakeFiles/scod_population.dir/kde.cpp.o.d"
+  "/root/repo/src/population/tle.cpp" "src/population/CMakeFiles/scod_population.dir/tle.cpp.o" "gcc" "src/population/CMakeFiles/scod_population.dir/tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

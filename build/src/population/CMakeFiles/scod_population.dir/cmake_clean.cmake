@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_population.dir/anchors.cpp.o"
+  "CMakeFiles/scod_population.dir/anchors.cpp.o.d"
+  "CMakeFiles/scod_population.dir/catalog_io.cpp.o"
+  "CMakeFiles/scod_population.dir/catalog_io.cpp.o.d"
+  "CMakeFiles/scod_population.dir/generator.cpp.o"
+  "CMakeFiles/scod_population.dir/generator.cpp.o.d"
+  "CMakeFiles/scod_population.dir/kde.cpp.o"
+  "CMakeFiles/scod_population.dir/kde.cpp.o.d"
+  "CMakeFiles/scod_population.dir/tle.cpp.o"
+  "CMakeFiles/scod_population.dir/tle.cpp.o.d"
+  "libscod_population.a"
+  "libscod_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propagation/contour_solver.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/contour_solver.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/contour_solver.cpp.o.d"
+  "/root/repo/src/propagation/ephemeris.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/ephemeris.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/ephemeris.cpp.o.d"
+  "/root/repo/src/propagation/j2_secular.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/j2_secular.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/j2_secular.cpp.o.d"
+  "/root/repo/src/propagation/kepler_solver.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/kepler_solver.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/kepler_solver.cpp.o.d"
+  "/root/repo/src/propagation/tle_secular.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/tle_secular.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/tle_secular.cpp.o.d"
+  "/root/repo/src/propagation/two_body.cpp" "src/propagation/CMakeFiles/scod_propagation.dir/two_body.cpp.o" "gcc" "src/propagation/CMakeFiles/scod_propagation.dir/two_body.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/population/CMakeFiles/scod_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

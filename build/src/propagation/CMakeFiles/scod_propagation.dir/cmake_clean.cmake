@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_propagation.dir/contour_solver.cpp.o"
+  "CMakeFiles/scod_propagation.dir/contour_solver.cpp.o.d"
+  "CMakeFiles/scod_propagation.dir/ephemeris.cpp.o"
+  "CMakeFiles/scod_propagation.dir/ephemeris.cpp.o.d"
+  "CMakeFiles/scod_propagation.dir/j2_secular.cpp.o"
+  "CMakeFiles/scod_propagation.dir/j2_secular.cpp.o.d"
+  "CMakeFiles/scod_propagation.dir/kepler_solver.cpp.o"
+  "CMakeFiles/scod_propagation.dir/kepler_solver.cpp.o.d"
+  "CMakeFiles/scod_propagation.dir/tle_secular.cpp.o"
+  "CMakeFiles/scod_propagation.dir/tle_secular.cpp.o.d"
+  "CMakeFiles/scod_propagation.dir/two_body.cpp.o"
+  "CMakeFiles/scod_propagation.dir/two_body.cpp.o.d"
+  "libscod_propagation.a"
+  "libscod_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/cell.cpp" "src/spatial/CMakeFiles/scod_spatial.dir/cell.cpp.o" "gcc" "src/spatial/CMakeFiles/scod_spatial.dir/cell.cpp.o.d"
+  "/root/repo/src/spatial/conjunction_set.cpp" "src/spatial/CMakeFiles/scod_spatial.dir/conjunction_set.cpp.o" "gcc" "src/spatial/CMakeFiles/scod_spatial.dir/conjunction_set.cpp.o.d"
+  "/root/repo/src/spatial/grid_hash_set.cpp" "src/spatial/CMakeFiles/scod_spatial.dir/grid_hash_set.cpp.o" "gcc" "src/spatial/CMakeFiles/scod_spatial.dir/grid_hash_set.cpp.o.d"
+  "/root/repo/src/spatial/kdtree.cpp" "src/spatial/CMakeFiles/scod_spatial.dir/kdtree.cpp.o" "gcc" "src/spatial/CMakeFiles/scod_spatial.dir/kdtree.cpp.o.d"
+  "/root/repo/src/spatial/murmur3.cpp" "src/spatial/CMakeFiles/scod_spatial.dir/murmur3.cpp.o" "gcc" "src/spatial/CMakeFiles/scod_spatial.dir/murmur3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

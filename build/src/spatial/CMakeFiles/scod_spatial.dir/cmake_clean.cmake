@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_spatial.dir/cell.cpp.o"
+  "CMakeFiles/scod_spatial.dir/cell.cpp.o.d"
+  "CMakeFiles/scod_spatial.dir/conjunction_set.cpp.o"
+  "CMakeFiles/scod_spatial.dir/conjunction_set.cpp.o.d"
+  "CMakeFiles/scod_spatial.dir/grid_hash_set.cpp.o"
+  "CMakeFiles/scod_spatial.dir/grid_hash_set.cpp.o.d"
+  "CMakeFiles/scod_spatial.dir/kdtree.cpp.o"
+  "CMakeFiles/scod_spatial.dir/kdtree.cpp.o.d"
+  "CMakeFiles/scod_spatial.dir/murmur3.cpp.o"
+  "CMakeFiles/scod_spatial.dir/murmur3.cpp.o.d"
+  "libscod_spatial.a"
+  "libscod_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_util.dir/cli.cpp.o"
+  "CMakeFiles/scod_util.dir/cli.cpp.o.d"
+  "CMakeFiles/scod_util.dir/csv.cpp.o"
+  "CMakeFiles/scod_util.dir/csv.cpp.o.d"
+  "CMakeFiles/scod_util.dir/log.cpp.o"
+  "CMakeFiles/scod_util.dir/log.cpp.o.d"
+  "CMakeFiles/scod_util.dir/stats.cpp.o"
+  "CMakeFiles/scod_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scod_util.dir/sysinfo.cpp.o"
+  "CMakeFiles/scod_util.dir/sysinfo.cpp.o.d"
+  "CMakeFiles/scod_util.dir/table.cpp.o"
+  "CMakeFiles/scod_util.dir/table.cpp.o.d"
+  "libscod_util.a"
+  "libscod_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

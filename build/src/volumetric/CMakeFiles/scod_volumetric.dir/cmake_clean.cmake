@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_volumetric.dir/cube.cpp.o"
+  "CMakeFiles/scod_volumetric.dir/cube.cpp.o.d"
+  "CMakeFiles/scod_volumetric.dir/octree.cpp.o"
+  "CMakeFiles/scod_volumetric.dir/octree.cpp.o.d"
+  "libscod_volumetric.a"
+  "libscod_volumetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_volumetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

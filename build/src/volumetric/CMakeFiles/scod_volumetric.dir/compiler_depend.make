@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scod_volumetric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assessment.dir/test_assessment.cpp.o"
+  "CMakeFiles/test_assessment.dir/test_assessment.cpp.o.d"
+  "test_assessment"
+  "test_assessment.pdb"
+  "test_assessment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ephemeris.dir/test_ephemeris.cpp.o"
+  "CMakeFiles/test_ephemeris.dir/test_ephemeris.cpp.o.d"
+  "test_ephemeris"
+  "test_ephemeris.pdb"
+  "test_ephemeris[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ephemeris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

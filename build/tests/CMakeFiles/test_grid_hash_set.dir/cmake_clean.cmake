@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_hash_set.dir/test_grid_hash_set.cpp.o"
+  "CMakeFiles/test_grid_hash_set.dir/test_grid_hash_set.cpp.o.d"
+  "test_grid_hash_set"
+  "test_grid_hash_set.pdb"
+  "test_grid_hash_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_hash_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

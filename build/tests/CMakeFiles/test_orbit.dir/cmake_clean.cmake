@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit.dir/test_orbit.cpp.o"
+  "CMakeFiles/test_orbit.dir/test_orbit.cpp.o.d"
+  "test_orbit"
+  "test_orbit.pdb"
+  "test_orbit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_edges.dir/test_pipeline_edges.cpp.o"
+  "CMakeFiles/test_pipeline_edges.dir/test_pipeline_edges.cpp.o.d"
+  "test_pipeline_edges"
+  "test_pipeline_edges.pdb"
+  "test_pipeline_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

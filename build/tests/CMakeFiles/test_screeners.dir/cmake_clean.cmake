@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_screeners.dir/test_screeners.cpp.o"
+  "CMakeFiles/test_screeners.dir/test_screeners.cpp.o.d"
+  "test_screeners"
+  "test_screeners.pdb"
+  "test_screeners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_screeners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

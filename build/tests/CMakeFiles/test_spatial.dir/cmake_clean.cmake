@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial.dir/test_spatial.cpp.o"
+  "CMakeFiles/test_spatial.dir/test_spatial.cpp.o.d"
+  "test_spatial"
+  "test_spatial.pdb"
+  "test_spatial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

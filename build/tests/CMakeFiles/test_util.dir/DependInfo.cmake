@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/volumetric/CMakeFiles/scod_volumetric.dir/DependInfo.cmake"
+  "/root/repo/build/src/assessment/CMakeFiles/scod_assessment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/scod_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/scod_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/scod_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/scod_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/scod_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/scod_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/scod_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/scod_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

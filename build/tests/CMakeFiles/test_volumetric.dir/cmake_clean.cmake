@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volumetric.dir/test_volumetric.cpp.o"
+  "CMakeFiles/test_volumetric.dir/test_volumetric.cpp.o.d"
+  "test_volumetric"
+  "test_volumetric.pdb"
+  "test_volumetric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volumetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_orbit[1]_include.cmake")
+include("/root/repo/build/tests/test_propagation[1]_include.cmake")
+include("/root/repo/build/tests/test_spatial[1]_include.cmake")
+include("/root/repo/build/tests/test_grid_hash_set[1]_include.cmake")
+include("/root/repo/build/tests/test_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_pca[1]_include.cmake")
+include("/root/repo/build/tests/test_population[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_screeners[1]_include.cmake")
+include("/root/repo/build/tests/test_assessment[1]_include.cmake")
+include("/root/repo/build/tests/test_ephemeris[1]_include.cmake")
+include("/root/repo/build/tests/test_tle[1]_include.cmake")
+include("/root/repo/build/tests/test_volumetric[1]_include.cmake")
+include("/root/repo/build/tests/test_uncertainty[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scod_cli.dir/scod_cli.cpp.o"
+  "CMakeFiles/scod_cli.dir/scod_cli.cpp.o.d"
+  "scod"
+  "scod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
