@@ -133,5 +133,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\nresults written to %s\n", opt.csv.c_str());
   }
+
+  if (!opt.json.empty()) {
+    JsonBenchWriter json(opt.json);
+    for (const Row& row : rows) {
+      json.record("fig10_runtime", row.n, row.variant, row.seconds,
+                  row.conjunctions);
+    }
+    std::printf("JSON records written to %s\n", opt.json.c_str());
+  }
   return 0;
 }

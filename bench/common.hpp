@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,19 +38,21 @@ struct HarnessOptions {
   std::int64_t repeats = 1;          ///< timing repetitions (median reported)
   std::uint64_t seed = 42;
   std::string csv;                   ///< optional machine-readable output path
+  std::string json;                  ///< optional JSON records output path
   bool device = true;                ///< also run the devicesim backend
 };
 
 inline HarnessOptions parse_harness_options(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
                      {"sizes", "legacy-max", "span", "threshold", "sps-grid",
-                      "sps-hybrid", "repeats", "seed", "csv", "device", "threads"});
+                      "sps-hybrid", "repeats", "seed", "csv", "json", "device",
+                      "threads"});
   if (!args.unknown().empty()) {
     std::fprintf(stderr, "unknown option: %s\n", args.unknown().front().c_str());
     std::fprintf(stderr,
                  "known: --sizes a,b,c --legacy-max N --span S --threshold D "
                  "--sps-grid S --sps-hybrid S --repeats R --seed S --csv PATH "
-                 "--device 0|1\n");
+                 "--json PATH --device 0|1\n");
     std::exit(2);
   }
   HarnessOptions opt;
@@ -62,9 +65,52 @@ inline HarnessOptions parse_harness_options(int argc, const char* const* argv) {
   opt.repeats = args.get_int("repeats", opt.repeats);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   opt.csv = args.get_string("csv", "");
+  opt.json = args.get_string("json", "");
   opt.device = args.get_bool("device", opt.device);
   return opt;
 }
+
+/// Streams bench records as a JSON array of flat objects, one per measured
+/// (workload, n, variant) cell:
+///   {"workload": ..., "n": ..., "variant": ..., "seconds": ..., "conjunctions": ...}
+/// Committed snapshots follow the BENCH_<tag>.json convention at the repo
+/// root (e.g. BENCH_pr1.json), so regressions show up in review diffs.
+/// Destruction closes the array; with an empty path the writer is inert.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(const std::string& path) {
+    if (path.empty()) return;
+    out_.open(path);
+    if (!out_) {
+      std::fprintf(stderr, "cannot open JSON output: %s\n", path.c_str());
+      std::exit(2);
+    }
+    out_ << "[\n";
+  }
+
+  ~JsonBenchWriter() {
+    if (out_.is_open()) out_ << "\n]\n";
+  }
+
+  JsonBenchWriter(const JsonBenchWriter&) = delete;
+  JsonBenchWriter& operator=(const JsonBenchWriter&) = delete;
+
+  void record(const std::string& workload, std::uint64_t n,
+              const std::string& variant, double seconds,
+              std::uint64_t conjunctions) {
+    if (!out_.is_open()) return;
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << "  {\"workload\": \"" << workload << "\", \"n\": " << n
+         << ", \"variant\": \"" << variant << "\", \"seconds\": " << seconds
+         << ", \"conjunctions\": " << conjunctions << "}";
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+  bool first_ = true;
+};
 
 inline ScreeningConfig make_config(const HarnessOptions& opt) {
   ScreeningConfig cfg;

@@ -34,6 +34,14 @@ struct GridPipelineOptions {
   /// worst-case ablation (bench_eq1_cellsize): cells smaller than Eq. (1)
   /// void the no-skip guarantee of Fig. 4.
   double cell_size_override = 0.0;
+  /// Run the insertion phase through the batched SoA propagation kernel
+  /// (TwoBodyPropagator::positions_at) instead of one virtual position()
+  /// call per (sample, satellite) tuple. Applies on the CPU backend when
+  /// the propagator is a TwoBodyPropagator; the devicesim backend keeps the
+  /// paper's one-thread-per-tuple kernel. Positions are bit-identical
+  /// either way — disable only to benchmark the scalar path
+  /// (bench_micro_batch).
+  bool batch_propagation = true;
 };
 
 /// Everything the grid front-end produced for the refinement/filter stages.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/exec.hpp"
+#include "pca/pair_evaluator.hpp"
 #include "pca/refine.hpp"
 #include "propagation/contour_solver.hpp"
 #include "propagation/two_body.hpp"
@@ -17,6 +18,9 @@ namespace {
 /// Step 4 for one batch of candidates: Brent refinement, one logical
 /// thread per candidate (kernel-style fixed output slots keep the phase
 /// lock-free). Returns the raw (unmerged) sub-threshold conjunctions.
+/// When the propagator is the concrete TwoBody/Contour pair, each candidate
+/// snapshots both cache entries into a PairStateEvaluator so every Brent
+/// objective evaluation is a direct call instead of two virtual dispatches.
 std::vector<Conjunction> refine_candidates(const Propagator& propagator,
                                            const ScreeningConfig& config,
                                            const GridPipelineResult& pipeline,
@@ -24,20 +28,29 @@ std::vector<Conjunction> refine_candidates(const Propagator& propagator,
   std::vector<Conjunction> slots(candidates.size());
   std::vector<std::uint8_t> valid(candidates.size(), 0);
 
+  const RefineFastPath fast = RefineFastPath::probe(propagator);
   detail::execute(config, candidates.size(), [&](std::size_t i) {
     const Candidate& c = candidates[i];
     const double t_s = pipeline.sample_time(c.step, config.t_begin, config.t_end);
     // "t is the time it takes the slower of both satellites to cross two
     // cells, which we can calculate simply by using the velocity vector at
     // that time step" (Section IV-C).
-    const double speed_a = propagator.state(c.sat_a, t_s).velocity.norm();
-    const double speed_b = propagator.state(c.sat_b, t_s).velocity.norm();
-    const double radius =
-        grid_search_radius(pipeline.cell_size, std::min(speed_a, speed_b));
-
-    const auto encounter =
-        refine_candidate(propagator, c.sat_a, c.sat_b, t_s, radius, config.t_begin,
-                         config.t_end, config.refine);
+    std::optional<Encounter> encounter;
+    if (fast.available()) {
+      const PairStateEvaluator eval = fast.pair(c.sat_a, c.sat_b);
+      const double radius = grid_search_radius(
+          pipeline.cell_size, std::min(eval.speed_a(t_s), eval.speed_b(t_s)));
+      encounter = refine_candidate_fn([&eval](double t) { return eval.distance(t); },
+                                      t_s, radius, config.t_begin, config.t_end,
+                                      config.refine);
+    } else {
+      const double speed_a = propagator.state(c.sat_a, t_s).velocity.norm();
+      const double speed_b = propagator.state(c.sat_b, t_s).velocity.norm();
+      const double radius =
+          grid_search_radius(pipeline.cell_size, std::min(speed_a, speed_b));
+      encounter = refine_candidate(propagator, c.sat_a, c.sat_b, t_s, radius,
+                                   config.t_begin, config.t_end, config.refine);
+    }
     if (encounter.has_value() && encounter->pca <= config.threshold_km) {
       slots[i] = {c.sat_a, c.sat_b, encounter->tca, encounter->pca};
       valid[i] = 1;

@@ -10,6 +10,7 @@
 #include "filters/coplanarity.hpp"
 #include "filters/orbit_path.hpp"
 #include "filters/time_windows.hpp"
+#include "pca/pair_evaluator.hpp"
 #include "pca/refine.hpp"
 #include "propagation/contour_solver.hpp"
 #include "propagation/two_body.hpp"
@@ -204,10 +205,26 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
   std::vector<Conjunction> slots(tasks.size());
   std::vector<std::uint8_t> valid(tasks.size(), 0);
 
+  // With the concrete TwoBody/Contour pair, each task snapshots both cache
+  // entries once (PairStateEvaluator) so the Brent objective is a direct
+  // call instead of two virtual dispatches per evaluation.
+  const RefineFastPath fast = RefineFastPath::probe(propagator);
   detail::execute(config, tasks.size(), [&](std::size_t i) {
     const RefineTask& task = tasks[i];
     std::optional<Encounter> encounter;
-    if (task.grid_style) {
+    if (fast.available()) {
+      const PairStateEvaluator eval = fast.pair(task.sat_a, task.sat_b);
+      const auto distance = [&eval](double t) { return eval.distance(t); };
+      if (task.grid_style) {
+        const double radius = grid_search_radius(
+            pipeline.cell_size,
+            std::min(eval.speed_a(task.center), eval.speed_b(task.center)));
+        encounter = refine_candidate_fn(distance, task.center, radius, config.t_begin,
+                                        config.t_end, config.refine);
+      } else {
+        encounter = refine_on_interval_fn(distance, task.t_lo, task.t_hi, config.refine);
+      }
+    } else if (task.grid_style) {
       const double speed_a = propagator.state(task.sat_a, task.center).velocity.norm();
       const double speed_b = propagator.state(task.sat_b, task.center).velocity.norm();
       const double radius =

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/exec.hpp"
 #include "filters/apogee_perigee.hpp"
 #include "orbit/geometry.hpp"
+#include "pca/pair_evaluator.hpp"
 #include "pca/refine.hpp"
 #include "propagation/contour_solver.hpp"
 #include "propagation/two_body.hpp"
@@ -56,6 +58,11 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
   std::vector<Conjunction> all;
   std::mutex merge_mutex;
 
+  // The sieve evaluates the pairwise distance in a tight skipping loop, so
+  // the devirtualized evaluator pays off even more than in refinement: one
+  // snapshot per pair covers the whole time scan.
+  const RefineFastPath fast = RefineFastPath::probe(propagator);
+
   detail::pool_of(config).parallel_for_ranges(
       pairs.size(), [&](std::size_t begin, std::size_t end) {
         std::vector<Conjunction> local;
@@ -71,12 +78,20 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
             continue;
           }
 
+          const std::optional<PairStateEvaluator> eval =
+              fast.available() ? std::optional<PairStateEvaluator>(fast.pair(a, b))
+                               : std::nullopt;
+          const auto pair_distance = [&](double t) {
+            return eval.has_value() ? eval->distance(t)
+                                    : propagator.distance(a, b, t);
+          };
+
           const double closing_speed = vmax[a] + vmax[b];
           std::vector<Encounter> encounters;
 
           double t = config.t_begin;
           while (t <= config.t_end) {
-            const double d = propagator.distance(a, b, t);
+            const double d = pair_distance(t);
             ++local_evals;
             if (d > coarse) {
               // Sieve step: the distance cannot shrink to the threshold
@@ -89,8 +104,9 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
             // window cannot be wider than the time to traverse the coarse
             // sphere at the lowest realistic speed.
             const double half = std::max(2.0 * coarse / closing_speed, 2.0);
-            const auto enc = refine_on_interval(propagator, a, b, t - half, t + half,
-                                                config.refine);
+            const auto enc =
+                refine_on_interval_fn(pair_distance, t - half, t + half,
+                                      config.refine);
             ++local_refines;
             if (enc.has_value() && enc->pca <= config.threshold_km &&
                 enc->tca >= config.t_begin && enc->tca <= config.t_end) {

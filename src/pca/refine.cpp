@@ -1,9 +1,6 @@
 #include "pca/refine.hpp"
 
 #include <algorithm>
-#include <cmath>
-
-#include "pca/brent.hpp"
 
 namespace scod {
 
@@ -15,29 +12,9 @@ std::optional<Encounter> refine_on_interval(const Propagator& propagator,
                                             std::uint32_t sat_a, std::uint32_t sat_b,
                                             double t_lo, double t_hi,
                                             const RefineOptions& options) {
-  if (!(t_lo < t_hi)) return std::nullopt;
-  const auto distance = [&](double t) { return propagator.distance(sat_a, sat_b, t); };
-
-  const MinimizeResult min =
-      brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
-
-  // Boundary handling (Section IV-C): when the search stops at an interval
-  // edge, probe slightly beyond it. If the distance keeps falling, the
-  // local minimum lies outside this interval — discard; the neighbouring
-  // interval's search will find it. Otherwise the edge really is the
-  // (clamped) minimum.
-  const double radius = 0.5 * (t_hi - t_lo);
-  const double probe = std::max(options.edge_probe_fraction * radius,
-                                4.0 * options.time_tolerance);
-  const double edge_tol = 2.0 * options.time_tolerance;
-
-  if (min.x - t_lo <= edge_tol) {
-    if (distance(t_lo - probe) < min.value) return std::nullopt;
-  } else if (t_hi - min.x <= edge_tol) {
-    if (distance(t_hi + probe) < min.value) return std::nullopt;
-  }
-
-  return Encounter{min.x, min.value};
+  return refine_on_interval_fn(
+      [&](double t) { return propagator.distance(sat_a, sat_b, t); }, t_lo, t_hi,
+      options);
 }
 
 std::optional<Encounter> refine_candidate(const Propagator& propagator,
@@ -45,27 +22,9 @@ std::optional<Encounter> refine_candidate(const Propagator& propagator,
                                           double center, double radius,
                                           double t_min, double t_max,
                                           const RefineOptions& options) {
-  const double t_lo = std::max(center - radius, t_min);
-  const double t_hi = std::min(center + radius, t_max);
-  if (!(t_lo < t_hi)) return std::nullopt;
-
-  const auto distance = [&](double t) { return propagator.distance(sat_a, sat_b, t); };
-  const MinimizeResult min =
-      brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
-
-  const double probe =
-      std::max(options.edge_probe_fraction * radius, 4.0 * options.time_tolerance);
-  const double edge_tol = 2.0 * options.time_tolerance;
-
-  // At the simulation-span boundary the minimum cannot be discarded — there
-  // is no neighbouring interval beyond the span; report the clamped value.
-  if (min.x - t_lo <= edge_tol && t_lo > t_min) {
-    if (distance(std::max(t_lo - probe, t_min)) < min.value) return std::nullopt;
-  } else if (t_hi - min.x <= edge_tol && t_hi < t_max) {
-    if (distance(std::min(t_hi + probe, t_max)) < min.value) return std::nullopt;
-  }
-
-  return Encounter{min.x, min.value};
+  return refine_candidate_fn(
+      [&](double t) { return propagator.distance(sat_a, sat_b, t); }, center, radius,
+      t_min, t_max, options);
 }
 
 std::vector<Encounter> merge_encounters(std::vector<Encounter> encounters,

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "pca/brent.hpp"
 #include "propagation/propagator.hpp"
 
 namespace scod {
@@ -30,6 +32,66 @@ struct RefineOptions {
 /// Radius of the search interval for a grid candidate: "t is the time it
 /// takes the slower of both satellites to cross two cells" (Section IV-C).
 double grid_search_radius(double cell_size, double slower_speed_km_s);
+
+/// Functor-based core of refine_on_interval: `distance(t)` is the pairwise
+/// distance objective. Exposed as a template so the screeners can pass a
+/// devirtualized PairStateEvaluator closure instead of paying two virtual
+/// dispatches per Brent evaluation; the Propagator overloads below wrap it.
+template <typename DistanceFn>
+std::optional<Encounter> refine_on_interval_fn(DistanceFn&& distance, double t_lo,
+                                               double t_hi,
+                                               const RefineOptions& options = {}) {
+  if (!(t_lo < t_hi)) return std::nullopt;
+
+  const MinimizeResult min =
+      brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
+
+  // Boundary handling (Section IV-C): when the search stops at an interval
+  // edge, probe slightly beyond it. If the distance keeps falling, the
+  // local minimum lies outside this interval — discard; the neighbouring
+  // interval's search will find it. Otherwise the edge really is the
+  // (clamped) minimum.
+  const double radius = 0.5 * (t_hi - t_lo);
+  const double probe = std::max(options.edge_probe_fraction * radius,
+                                4.0 * options.time_tolerance);
+  const double edge_tol = 2.0 * options.time_tolerance;
+
+  if (min.x - t_lo <= edge_tol) {
+    if (distance(t_lo - probe) < min.value) return std::nullopt;
+  } else if (t_hi - min.x <= edge_tol) {
+    if (distance(t_hi + probe) < min.value) return std::nullopt;
+  }
+
+  return Encounter{min.x, min.value};
+}
+
+/// Functor-based core of refine_candidate (grid-style search interval
+/// [center - radius, center + radius] clamped to the simulation span).
+template <typename DistanceFn>
+std::optional<Encounter> refine_candidate_fn(DistanceFn&& distance, double center,
+                                             double radius, double t_min, double t_max,
+                                             const RefineOptions& options = {}) {
+  const double t_lo = std::max(center - radius, t_min);
+  const double t_hi = std::min(center + radius, t_max);
+  if (!(t_lo < t_hi)) return std::nullopt;
+
+  const MinimizeResult min =
+      brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
+
+  const double probe =
+      std::max(options.edge_probe_fraction * radius, 4.0 * options.time_tolerance);
+  const double edge_tol = 2.0 * options.time_tolerance;
+
+  // At the simulation-span boundary the minimum cannot be discarded — there
+  // is no neighbouring interval beyond the span; report the clamped value.
+  if (min.x - t_lo <= edge_tol && t_lo > t_min) {
+    if (distance(std::max(t_lo - probe, t_min)) < min.value) return std::nullopt;
+  } else if (t_hi - min.x <= edge_tol && t_hi < t_max) {
+    if (distance(std::min(t_hi + probe, t_max)) < min.value) return std::nullopt;
+  }
+
+  return Encounter{min.x, min.value};
+}
 
 /// Minimizes the pairwise distance of (sat_a, sat_b) on
 /// [center - radius, center + radius], clamped to [t_min, t_max].

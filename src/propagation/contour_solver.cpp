@@ -1,12 +1,106 @@
 #include "propagation/contour_solver.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
 #include "orbit/anomaly.hpp"
+#include "propagation/fast_trig.hpp"
 #include "util/constants.hpp"
 
 namespace scod {
+
+namespace {
+
+/// Lanes per block of the batched kernel. 64 doubles per lane array keeps
+/// the whole working set (13 lane arrays, ~6.5 KiB) in L1 while giving the
+/// vectorizer long trip counts.
+constexpr std::size_t kLanes = 64;
+
+/// Lane state of one batch block. All arrays are SoA so the per-node inner
+/// loop reads and writes stride-1.
+struct SolveBlock {
+  double m[kLanes];       ///< wrapped mean anomaly (full range)
+  double mh[kLanes];      ///< half-range mean anomaly fed to the quadrature
+  double e[kLanes];       ///< eccentricity
+  double center[kLanes];  ///< contour center mh + e/2
+  double radius[kLanes];  ///< contour radius
+  double big_e[kLanes];   ///< result (unwrapped)
+  unsigned char mirrored[kLanes];
+  unsigned char fallback[kLanes];
+};
+
+/// The batched trapezoid quadrature + Newton polish. Per lane this performs
+/// exactly the operation sequence of ContourKeplerSolver::solve_half_range
+/// and the polish loop in eccentric_anomaly — the same expressions, the
+/// same node order, the same shared sincos/sinhcosh kernels — so the
+/// results are bit-identical to the scalar path (this file compiles with
+/// -ffp-contract=off to keep contraction from breaking that, see
+/// src/propagation/CMakeLists.txt).
+SCOD_VEC_TARGETS
+void contour_solve_block(const double* cos1, const double* sin1, const double* cos2,
+                         const double* sin2, int points, bool polish, SolveBlock& blk,
+                         std::size_t lanes) {
+  double s1_re[kLanes], s1_im[kLanes], s2_re[kLanes], s2_im[kLanes];
+  for (std::size_t l = 0; l < lanes; ++l) {
+    s1_re[l] = 0.0;
+    s1_im[l] = 0.0;
+    s2_re[l] = 0.0;
+    s2_im[l] = 0.0;
+  }
+
+  for (int j = 0; j < points; ++j) {
+    const double c1 = cos1[j];
+    const double s1 = sin1[j];
+    const double c2 = cos2[j];
+    const double s2 = sin2[j];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double zx = blk.center[l] + blk.radius[l] * c1;
+      const double zy = blk.radius[l] * s1;
+      // sin(zx + i zy) = sin(zx) cosh(zy) + i cos(zx) sinh(zy)
+      double sx, cx, sh, ch;
+      detail::sincos_bounded(zx, sx, cx);
+      detail::sinhcosh_small(zy, sh, ch);
+      const double f_re = zx - blk.e[l] * sx * ch - blk.mh[l];
+      const double f_im = zy - blk.e[l] * cx * sh;
+
+      const double inv = 1.0 / (f_re * f_re + f_im * f_im);
+      const double inv_re = f_re * inv;
+      const double inv_im = -f_im * inv;
+
+      s1_re[l] += c1 * inv_re - s1 * inv_im;
+      s1_im[l] += c1 * inv_im + s1 * inv_re;
+      s2_re[l] += c2 * inv_re - s2 * inv_im;
+      s2_im[l] += c2 * inv_im + s2 * inv_re;
+    }
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double denom = s1_re[l] * s1_re[l] + s1_im[l] * s1_im[l];
+    const double ratio_re = (s2_re[l] * s1_re[l] + s2_im[l] * s1_im[l]) / denom;
+    const double half_e = blk.center[l] + blk.radius[l] * ratio_re;
+    blk.big_e[l] = blk.mirrored[l] != 0 ? kTwoPi - half_e : half_e;
+  }
+
+  if (polish) {
+    for (int it = 0; it < 2; ++it) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        double sx, cx;
+        detail::sincos_bounded(blk.big_e[l], sx, cx);
+        const double f = blk.big_e[l] - blk.e[l] * sx - blk.m[l];
+        blk.big_e[l] -= f / (1.0 - blk.e[l] * cx);
+      }
+    }
+  }
+}
+
+/// Degenerate inputs the quadrature cannot handle (same predicate as the
+/// per-call path): circular orbits and roots pinned to the contour.
+inline bool needs_newton_fallback(double m, double e) {
+  return e < 1e-10 || m < 1e-8 || std::abs(m - kPi) < 1e-8 || std::abs(m - kTwoPi) < 1e-8;
+}
+
+}  // namespace
 
 ContourKeplerSolver::ContourKeplerSolver(int points, bool polish)
     : points_(points), polish_(polish) {
@@ -31,7 +125,7 @@ double ContourKeplerSolver::eccentric_anomaly(double mean_anomaly,
   // Circular orbits and roots pinned to the contour (M ~ 0 or pi) are not
   // suitable for the contour quadrature; they are trivial/cheap for the
   // safeguarded Newton iteration instead.
-  if (e < 1e-10 || m < 1e-8 || std::abs(m - kPi) < 1e-8 || std::abs(m - kTwoPi) < 1e-8) {
+  if (needs_newton_fallback(m, e)) {
     return NewtonKeplerSolver{}.eccentric_anomaly(m, e);
   }
   const bool mirrored = m > kPi;
@@ -40,17 +134,78 @@ double ContourKeplerSolver::eccentric_anomaly(double mean_anomaly,
 
   if (polish_) {
     for (int it = 0; it < 2; ++it) {
-      const double f = big_e - e * std::sin(big_e) - m;
-      big_e -= f / (1.0 - e * std::cos(big_e));
+      double sx, cx;
+      detail::sincos_bounded(big_e, sx, cx);
+      const double f = big_e - e * sx - m;
+      big_e -= f / (1.0 - e * cx);
     }
   }
   return wrap_two_pi(big_e);
+}
+
+void ContourKeplerSolver::eccentric_anomalies(std::span<const double> mean_anomalies,
+                                              std::span<const double> eccentricities,
+                                              std::span<double> out) const {
+  const std::size_t n = mean_anomalies.size();
+  if (eccentricities.size() != n || out.size() != n) {
+    throw std::invalid_argument(
+        "ContourKeplerSolver::eccentric_anomalies: span size mismatch");
+  }
+
+  SolveBlock blk;
+  for (std::size_t base = 0; base < n; base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, n - base);
+
+    double wrapped_m[kLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double m = wrap_two_pi(mean_anomalies[base + l]);
+      const double e = eccentricities[base + l];
+      wrapped_m[l] = m;
+      if (needs_newton_fallback(m, e)) {
+        // Keep the quadrature lanes branch-free: degenerate lanes run the
+        // kernel on harmless stand-in values and are overwritten below.
+        blk.fallback[l] = 1;
+        blk.mirrored[l] = 0;
+        blk.m[l] = 1.0;
+        blk.mh[l] = 1.0;
+        blk.e[l] = 0.5;
+        blk.center[l] = 1.0 + 0.25;
+        blk.radius[l] = 0.25 * 1.02 + 1e-12;
+        continue;
+      }
+      const bool mirrored = m > kPi;
+      const double mh = mirrored ? kTwoPi - m : m;
+      blk.fallback[l] = 0;
+      blk.mirrored[l] = mirrored ? 1 : 0;
+      blk.m[l] = m;
+      blk.mh[l] = mh;
+      blk.e[l] = e;
+      // Same contour as solve_half_range: centered on the [mh, mh + e]
+      // interval, radius inflated by 1% + epsilon.
+      blk.center[l] = mh + 0.5 * e;
+      blk.radius[l] = 0.5 * e * 1.02 + 1e-12;
+    }
+
+    contour_solve_block(cos1_.data(), sin1_.data(), cos2_.data(), sin2_.data(), points_,
+                        polish_, blk, lanes);
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[base + l] = blk.fallback[l] != 0
+                          ? NewtonKeplerSolver{}.eccentric_anomaly(wrapped_m[l],
+                                                                   eccentricities[base + l])
+                          : wrap_two_pi(blk.big_e[l]);
+    }
+  }
 }
 
 double ContourKeplerSolver::solve_half_range(double m, double e) const {
   // Root lies in [m, m + e]; center the contour there and inflate the
   // radius by 1% + epsilon so a root exactly at an interval end (sin E = 0
   // or 1) stays strictly inside.
+  //
+  // NOTE: this loop and contour_solve_block above must stay in operation-
+  // for-operation lockstep — the batched path is documented (and tested)
+  // to be bit-identical to this one.
   const double center = m + 0.5 * e;
   const double radius = 0.5 * e * 1.02 + 1e-12;
 
@@ -62,14 +217,15 @@ double ContourKeplerSolver::solve_half_range(double m, double e) const {
     const double zx = center + radius * cos1_[j];
     const double zy = radius * sin1_[j];
     // sin(zx + i zy) = sin(zx) cosh(zy) + i cos(zx) sinh(zy)
-    const double sx = std::sin(zx), cx = std::cos(zx);
-    const double ch = std::cosh(zy), sh = std::sinh(zy);
+    double sx, cx, sh, ch;
+    detail::sincos_bounded(zx, sx, cx);
+    detail::sinhcosh_small(zy, sh, ch);
     const double f_re = zx - e * sx * ch - m;
     const double f_im = zy - e * cx * sh;
 
-    const double denom = f_re * f_re + f_im * f_im;
-    const double inv_re = f_re / denom;
-    const double inv_im = -f_im / denom;
+    const double inv = 1.0 / (f_re * f_re + f_im * f_im);
+    const double inv_re = f_re * inv;
+    const double inv_im = -f_im * inv;
 
     s1_re += cos1_[j] * inv_re - sin1_[j] * inv_im;
     s1_im += cos1_[j] * inv_im + sin1_[j] * inv_re;

@@ -38,6 +38,18 @@ class ContourKeplerSolver final : public KeplerSolver {
 
   double eccentric_anomaly(double mean_anomaly, double eccentricity) const override;
 
+  /// Batched SoA solve, bit-identical to per-call eccentric_anomaly(). The
+  /// trapezoid loop is blocked satellite-major: lanes are satellites, the
+  /// quadrature node of the current iteration is a broadcast scalar, so the
+  /// compiler auto-vectorizes across satellites (stride-1 lane arrays)
+  /// instead of across the 16 nodes (which would need a horizontal
+  /// reduction per satellite). Degenerate inputs (near-circular, root
+  /// pinned to the contour) take the same scalar Newton fallback as the
+  /// per-call path.
+  void eccentric_anomalies(std::span<const double> mean_anomalies,
+                           std::span<const double> eccentricities,
+                           std::span<double> out) const override;
+
   int points() const { return points_; }
 
  private:

@@ -1,11 +1,24 @@
 #include "propagation/kepler_solver.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "orbit/anomaly.hpp"
 #include "util/constants.hpp"
 
 namespace scod {
+
+void KeplerSolver::eccentric_anomalies(std::span<const double> mean_anomalies,
+                                       std::span<const double> eccentricities,
+                                       std::span<double> out) const {
+  if (mean_anomalies.size() != eccentricities.size() ||
+      mean_anomalies.size() != out.size()) {
+    throw std::invalid_argument("KeplerSolver::eccentric_anomalies: span size mismatch");
+  }
+  for (std::size_t i = 0; i < mean_anomalies.size(); ++i) {
+    out[i] = eccentric_anomaly(mean_anomalies[i], eccentricities[i]);
+  }
+}
 
 double kepler_residual(double eccentric_anomaly, double eccentricity, double mean_anomaly) {
   const double m = eccentric_anomaly - eccentricity * std::sin(eccentric_anomaly);

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 namespace scod {
 
 /// Solves Kepler's equation E - e sin(E) = M for the eccentric anomaly E.
@@ -17,6 +19,16 @@ class KeplerSolver {
   /// Returns E in [0, 2*pi) for mean anomaly M (any value, wrapped
   /// internally) and eccentricity e in [0, 1).
   virtual double eccentric_anomaly(double mean_anomaly, double eccentricity) const = 0;
+
+  /// Batched solve: out[i] = eccentric_anomaly(mean_anomalies[i],
+  /// eccentricities[i]) for every i. All three spans must have equal
+  /// length. The base implementation loops over the scalar virtual call;
+  /// solvers whose inner loop is data-independent (the contour solver)
+  /// override it with a blocked SoA kernel that produces bit-identical
+  /// results. One virtual dispatch per batch instead of one per element.
+  virtual void eccentric_anomalies(std::span<const double> mean_anomalies,
+                                   std::span<const double> eccentricities,
+                                   std::span<double> out) const;
 };
 
 /// Newton-Raphson with a third-order-accurate starter and a bisection

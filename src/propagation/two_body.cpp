@@ -1,5 +1,6 @@
 #include "propagation/two_body.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,10 +10,78 @@
 
 namespace scod {
 
+namespace {
+
+/// Satellites per batch block: bounds the stack scratch (three lane arrays)
+/// and amortizes the one virtual solver dispatch per block.
+constexpr std::size_t kBatchBlock = 256;
+
+/// M_i = M0_i + n_i * t over one block — same expression as the scalar
+/// path, lane arrays stride-1.
+SCOD_VEC_TARGETS
+void mean_anomaly_block(const TwoBodySoA& soa, double time, std::size_t begin,
+                        std::size_t len, double* out) {
+  const double* m0 = soa.mean_anomaly0.data() + begin;
+  const double* n = soa.mean_motion.data() + begin;
+  for (std::size_t l = 0; l < len; ++l) {
+    out[l] = m0[l] + n[l] * time;
+  }
+}
+
+/// Perifocal position from the solved eccentric anomaly, rotated to ECI —
+/// the lane-loop twin of detail::cache_position (same expressions, same
+/// order; this file compiles with -ffp-contract=off to keep the two
+/// bit-identical).
+SCOD_VEC_TARGETS
+void position_block(const TwoBodySoA& soa, std::size_t begin, std::size_t len,
+                    const double* big_e, Vec3* out) {
+  const double* ecc = soa.eccentricity.data() + begin;
+  const double* a = soa.semi_major.data() + begin;
+  const double* b = soa.semi_minor.data() + begin;
+  const double* r00 = soa.rotation[0].data() + begin;
+  const double* r01 = soa.rotation[1].data() + begin;
+  const double* r02 = soa.rotation[2].data() + begin;
+  const double* r10 = soa.rotation[3].data() + begin;
+  const double* r11 = soa.rotation[4].data() + begin;
+  const double* r12 = soa.rotation[5].data() + begin;
+  const double* r20 = soa.rotation[6].data() + begin;
+  const double* r21 = soa.rotation[7].data() + begin;
+  const double* r22 = soa.rotation[8].data() + begin;
+
+  // Stride-1 lane results first — the interleaved (AoS) Vec3 stores would
+  // otherwise keep the whole loop scalar — then one cheap transpose pass.
+  double px[kBatchBlock], py[kBatchBlock], pz[kBatchBlock];
+  for (std::size_t l = 0; l < len; ++l) {
+    double se, ce;
+    detail::sincos_bounded(big_e[l], se, ce);
+    const double x = a[l] * (ce - ecc[l]);
+    const double y = b[l] * se;
+    const double z = 0.0;
+    // Mirrors Mat3::operator* applied to {x, y, 0} term for term.
+    px[l] = r00[l] * x + r01[l] * y + r02[l] * z;
+    py[l] = r10[l] * x + r11[l] * y + r12[l] * z;
+    pz[l] = r20[l] * x + r21[l] * y + r22[l] * z;
+  }
+  for (std::size_t l = 0; l < len; ++l) {
+    out[l].x = px[l];
+    out[l].y = py[l];
+    out[l].z = pz[l];
+  }
+}
+
+}  // namespace
+
 TwoBodyPropagator::TwoBodyPropagator(std::span<const Satellite> satellites,
                                      const KeplerSolver& solver)
     : satellites_(satellites.begin(), satellites.end()), solver_(&solver) {
   cache_.reserve(satellites_.size());
+  soa_.mean_anomaly0.reserve(satellites_.size());
+  soa_.mean_motion.reserve(satellites_.size());
+  soa_.eccentricity.reserve(satellites_.size());
+  soa_.semi_major.reserve(satellites_.size());
+  soa_.semi_minor.reserve(satellites_.size());
+  for (auto& cells : soa_.rotation) cells.reserve(satellites_.size());
+
   for (const Satellite& sat : satellites_) {
     const KeplerElements& el = sat.elements;
     if (!is_valid_orbit(el)) {
@@ -24,9 +93,23 @@ TwoBodyPropagator::TwoBodyPropagator(std::span<const Satellite> satellites,
     c.mean_motion = mean_motion(el);
     c.eccentricity = el.eccentricity;
     c.semi_latus = semi_latus_rectum(el);
+    c.semi_major = el.semi_major_axis;
+    c.semi_minor = el.semi_major_axis *
+                   std::sqrt(1.0 - el.eccentricity * el.eccentricity);
     c.vis_viva_factor = std::sqrt(kMuEarth / c.semi_latus);
     c.rotation = perifocal_to_eci(el.inclination, el.raan, el.arg_perigee);
     cache_.push_back(c);
+
+    soa_.mean_anomaly0.push_back(c.mean_anomaly0);
+    soa_.mean_motion.push_back(c.mean_motion);
+    soa_.eccentricity.push_back(c.eccentricity);
+    soa_.semi_major.push_back(c.semi_major);
+    soa_.semi_minor.push_back(c.semi_minor);
+    for (int r = 0; r < 3; ++r) {
+      for (int col = 0; col < 3; ++col) {
+        soa_.rotation[3 * r + col].push_back(c.rotation.m[r][col]);
+      }
+    }
   }
 }
 
@@ -38,21 +121,24 @@ double TwoBodyPropagator::true_anomaly(std::size_t index, double time) const {
 }
 
 Vec3 TwoBodyPropagator::position(std::size_t index, double time) const {
-  const TwoBodyCache& c = cache_[index];
-  const double f = true_anomaly(index, time);
-  const double r = c.semi_latus / (1.0 + c.eccentricity * std::cos(f));
-  const Vec3 pos_pf{r * std::cos(f), r * std::sin(f), 0.0};
-  return c.rotation * pos_pf;
+  return detail::cache_position(cache_[index], *solver_, time);
 }
 
 StateVector TwoBodyPropagator::state(std::size_t index, double time) const {
-  const TwoBodyCache& c = cache_[index];
-  const double f = true_anomaly(index, time);
-  const double cf = std::cos(f), sf = std::sin(f);
-  const double r = c.semi_latus / (1.0 + c.eccentricity * cf);
-  const Vec3 pos_pf{r * cf, r * sf, 0.0};
-  const Vec3 vel_pf{-c.vis_viva_factor * sf, c.vis_viva_factor * (c.eccentricity + cf), 0.0};
-  return {c.rotation * pos_pf, c.rotation * vel_pf};
+  return detail::cache_state(cache_[index], *solver_, time);
+}
+
+void TwoBodyPropagator::positions_at(double time, std::size_t begin, std::size_t end,
+                                     Vec3* out) const {
+  double m_buf[kBatchBlock];
+  double e_buf[kBatchBlock];
+  for (std::size_t base = begin; base < end; base += kBatchBlock) {
+    const std::size_t len = std::min(kBatchBlock, end - base);
+    mean_anomaly_block(soa_, time, base, len, m_buf);
+    solver_->eccentric_anomalies({m_buf, len},
+                                 {soa_.eccentricity.data() + base, len}, {e_buf, len});
+    position_block(soa_, base, len, e_buf, out + (base - begin));
+  }
 }
 
 const KeplerElements& TwoBodyPropagator::elements(std::size_t index) const {

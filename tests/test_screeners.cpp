@@ -466,6 +466,38 @@ TEST(Screeners, PartitionedScreeningMatchesDirect) {
                std::invalid_argument);
 }
 
+TEST(Screeners, BatchedInsertionKernelMatchesScalarExactly) {
+  // The SoA insertion kernel is documented as bit-identical to the
+  // per-tuple scalar path, so toggling it must not move a single
+  // conjunction: same pairs, same TCAs, same PCAs, to the last bit.
+  auto sats = dense_shell(60, 0xBA7C);
+  Rng rng(0x5EED);
+  sats.push_back(testutil::make_interceptor(sats[5].elements, 1800.0, 1.5, rng,
+                                            static_cast<std::uint32_t>(sats.size())));
+  ScreeningConfig cfg;
+  cfg.threshold_km = 5.0;
+  cfg.t_end = 6000.0;
+
+  const GridScreener batched;  // batch_propagation defaults to true
+  GridPipelineOptions scalar_options = GridScreener::default_options();
+  scalar_options.batch_propagation = false;
+  const GridScreener scalar(scalar_options);
+
+  const ScreeningReport batch_report = batched.screen(sats, cfg);
+  const ScreeningReport scalar_report = scalar.screen(sats, cfg);
+
+  EXPECT_GT(batch_report.conjunctions.size(), 0u);
+  ASSERT_EQ(batch_report.conjunctions.size(), scalar_report.conjunctions.size());
+  for (std::size_t i = 0; i < batch_report.conjunctions.size(); ++i) {
+    EXPECT_EQ(batch_report.conjunctions[i].sat_a, scalar_report.conjunctions[i].sat_a);
+    EXPECT_EQ(batch_report.conjunctions[i].sat_b, scalar_report.conjunctions[i].sat_b);
+    EXPECT_DOUBLE_EQ(batch_report.conjunctions[i].tca,
+                     scalar_report.conjunctions[i].tca);
+    EXPECT_DOUBLE_EQ(batch_report.conjunctions[i].pca,
+                     scalar_report.conjunctions[i].pca);
+  }
+}
+
 TEST(Screeners, StreamingModeMatchesBatchMode) {
   // Bounded-memory streaming must produce the same conjunction set as the
   // batch API, with candidates partitioned across many rounds.
