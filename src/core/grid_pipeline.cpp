@@ -57,6 +57,14 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
   const std::uint64_t budget =
       device != nullptr ? device->memory_free() : config.memory_budget;
 
+  if (!options.dirty_mask.empty() && options.dirty_mask.size() != n) {
+    throw std::invalid_argument(
+        "run_grid_pipeline: dirty_mask size does not match the population");
+  }
+  const std::uint8_t* dirty = options.dirty_mask.empty()
+                                  ? nullptr
+                                  : options.dirty_mask.data();
+
   // Resolved once: the batched insertion path needs the concrete SoA
   // propagator and only applies on the CPU backend.
   const TwoBodyPropagator* batch_propagator =
@@ -224,10 +232,15 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
           }
           for (std::uint32_t ea = head; ea != kNoEntry; ea = grid.entry(ea).next) {
             const GridEntry& a = grid.entry(ea);
+            const bool a_dirty = dirty == nullptr || dirty[a.satellite] != 0;
             for (std::uint32_t eb = self ? a.next : other_head; eb != kNoEntry;
                  eb = grid.entry(eb).next) {
               const GridEntry& b = grid.entry(eb);
               if (a.satellite == b.satellite) continue;
+              // Incremental hook: a pair with no dirty member carries its
+              // baseline conjunctions forward, so it never becomes a
+              // candidate here (see GridPipelineOptions::dirty_mask).
+              if (!a_dirty && dirty[b.satellite] == 0) continue;
               if (options.distance_prefilter) {
                 // A pair farther apart than d + (v_max_a + v_max_b) * s/2
                 // cannot reach the threshold closer than half a sample from

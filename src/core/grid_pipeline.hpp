@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -34,6 +35,14 @@ struct GridPipelineOptions {
   /// worst-case ablation (bench_eq1_cellsize): cells smaller than Eq. (1)
   /// void the no-skip guarantee of Fig. 4.
   double cell_size_override = 0.0;
+  /// Incremental re-screening hook (src/service): when non-empty it must
+  /// have one entry per satellite, and only candidate pairs with at least
+  /// one marked ("dirty") member are emitted by the detection phase. The
+  /// full population is still inserted into the grid, so dirty-vs-clean
+  /// candidates are found exactly as in a full screen; clean-vs-clean
+  /// pairs are skipped because their conjunctions are unchanged from the
+  /// cached baseline report. Empty (the default) screens every pair.
+  std::span<const std::uint8_t> dirty_mask = {};
   /// Run the insertion phase through the batched SoA propagation kernel
   /// (TwoBodyPropagator::positions_at) instead of one virtual position()
   /// call per (sample, satellite) tuple. Applies on the CPU backend when

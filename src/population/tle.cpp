@@ -17,59 +17,72 @@ namespace {
   throw std::runtime_error("tle: " + what);
 }
 
+/// Location suffix of one physical line, 1-based: " at path:42", " at
+/// line 42" without a path, empty without line context — so checksum and
+/// field errors pinpoint the offending line the way load_catalog_csv does.
+std::string at_line(const TleSourceLocation& where, std::size_t line_index) {
+  if (where.line1 == 0) return "";
+  const std::size_t line_number = where.line1 + line_index;
+  if (where.path.empty()) return " at line " + std::to_string(line_number);
+  return " at " + where.path + ":" + std::to_string(line_number);
+}
+
 std::string field(const std::string& line, std::size_t col_begin, std::size_t col_end) {
   // TLE columns are 1-based inclusive.
   return line.substr(col_begin - 1, col_end - col_begin + 1);
 }
 
-double parse_double(const std::string& text, const char* what) {
+double parse_double(const std::string& text, const char* what,
+                    const std::string& at) {
   try {
     std::size_t used = 0;
     const double v = std::stod(text, &used);
     // Trailing spaces are fine; anything else is a malformed field.
     for (std::size_t i = used; i < text.size(); ++i) {
       if (!std::isspace(static_cast<unsigned char>(text[i]))) {
-        fail(std::string("bad ") + what + " field '" + text + "'");
+        fail(std::string("bad ") + what + " field '" + text + "'" + at);
       }
     }
     return v;
   } catch (const std::invalid_argument&) {
-    fail(std::string("bad ") + what + " field '" + text + "'");
+    fail(std::string("bad ") + what + " field '" + text + "'" + at);
   }
 }
 
-std::uint32_t parse_uint(const std::string& text, const char* what) {
+std::uint32_t parse_uint(const std::string& text, const char* what,
+                         const std::string& at) {
   std::uint32_t v = 0;
   bool any = false;
   for (char c : text) {
     if (c == ' ') continue;
     if (!std::isdigit(static_cast<unsigned char>(c))) {
-      fail(std::string("bad ") + what + " field '" + text + "'");
+      fail(std::string("bad ") + what + " field '" + text + "'" + at);
     }
     v = v * 10 + static_cast<std::uint32_t>(c - '0');
     any = true;
   }
-  if (!any) fail(std::string("empty ") + what + " field");
+  if (!any) fail(std::string("empty ") + what + " field" + at);
   return v;
 }
 
 /// The TLE "implied decimal point" exponent notation, e.g. " 34123-4" =
 /// +0.34123e-4, "-12345-5" = -0.12345e-5, " 00000+0" = 0.
-double parse_exponent_field(const std::string& text, const char* what) {
-  if (text.size() != 8) fail(std::string("bad width of ") + what + " field");
+double parse_exponent_field(const std::string& text, const char* what,
+                            const std::string& at) {
+  if (text.size() != 8) fail(std::string("bad width of ") + what + " field" + at);
   const double sign = text[0] == '-' ? -1.0 : 1.0;
   double mantissa = 0.0;
   for (std::size_t i = 1; i <= 5; ++i) {
     const char c = text[i] == ' ' ? '0' : text[i];
     if (!std::isdigit(static_cast<unsigned char>(c))) {
-      fail(std::string("bad ") + what + " field '" + text + "'");
+      fail(std::string("bad ") + what + " field '" + text + "'" + at);
     }
     mantissa = mantissa * 10.0 + (c - '0');
   }
   mantissa /= 1e5;
   const double exp_sign = text[6] == '-' ? -1.0 : 1.0;
   if (!std::isdigit(static_cast<unsigned char>(text[7]))) {
-    fail(std::string("bad ") + what + " exponent '" + text + "'");
+    fail(std::string("bad ") + what + " exponent '" + text + "'" + at);
   }
   const double exponent = exp_sign * (text[7] - '0');
   return sign * mantissa * std::pow(10.0, exponent);
@@ -117,45 +130,55 @@ int tle_checksum(const std::string& line) {
 }
 
 TleRecord parse_tle(const std::string& line1, const std::string& line2,
-                    const std::string& name) {
-  if (line1.size() < 69 || line2.size() < 69) fail("line shorter than 69 columns");
-  if (line1[0] != '1') fail("line 1 does not start with '1'");
-  if (line2[0] != '2') fail("line 2 does not start with '2'");
-  for (const std::string* line : {&line1, &line2}) {
-    const int expected = (*line)[68] - '0';
-    if (tle_checksum(*line) != expected) {
-      fail("checksum mismatch on line '" + trim(*line) + "'");
+                    const std::string& name, const TleSourceLocation& where) {
+  const std::string at1 = at_line(where, 0);
+  const std::string at2 = at_line(where, 1);
+  if (line1.size() < 69) fail("line shorter than 69 columns" + at1);
+  if (line2.size() < 69) fail("line shorter than 69 columns" + at2);
+  if (line1[0] != '1') fail("line 1 does not start with '1'" + at1);
+  if (line2[0] != '2') fail("line 2 does not start with '2'" + at2);
+  for (int i = 0; i < 2; ++i) {
+    const std::string& line = i == 0 ? line1 : line2;
+    const int expected = line[68] - '0';
+    if (tle_checksum(line) != expected) {
+      fail("checksum mismatch on line '" + trim(line) + "'" +
+           (i == 0 ? at1 : at2));
     }
   }
 
   TleRecord rec;
   rec.name = trim(name);
-  rec.catalog_number = parse_uint(field(line1, 3, 7), "catalog number");
-  if (parse_uint(field(line2, 3, 7), "catalog number") != rec.catalog_number) {
-    fail("catalog numbers of the two lines differ");
+  rec.catalog_number = parse_uint(field(line1, 3, 7), "catalog number", at1);
+  if (parse_uint(field(line2, 3, 7), "catalog number", at2) != rec.catalog_number) {
+    fail("catalog numbers of the two lines differ" + at2);
   }
   rec.classification = line1[7];
   rec.intl_designator = trim(field(line1, 10, 17));
 
-  const auto epoch_yy = static_cast<int>(parse_uint(field(line1, 19, 20), "epoch year"));
+  const auto epoch_yy =
+      static_cast<int>(parse_uint(field(line1, 19, 20), "epoch year", at1));
   rec.epoch_year = epoch_yy < 57 ? 2000 + epoch_yy : 1900 + epoch_yy;  // NORAD rule
-  rec.epoch_day = parse_double(field(line1, 21, 32), "epoch day");
+  rec.epoch_day = parse_double(field(line1, 21, 32), "epoch day", at1);
 
-  rec.mean_motion_dot = parse_double(field(line1, 34, 43), "mean motion dot");
-  rec.mean_motion_ddot = parse_exponent_field(field(line1, 45, 52), "mean motion ddot");
-  rec.bstar = parse_exponent_field(field(line1, 54, 61), "bstar");
-  rec.element_set = parse_uint(field(line1, 65, 68), "element set");
+  rec.mean_motion_dot = parse_double(field(line1, 34, 43), "mean motion dot", at1);
+  rec.mean_motion_ddot =
+      parse_exponent_field(field(line1, 45, 52), "mean motion ddot", at1);
+  rec.bstar = parse_exponent_field(field(line1, 54, 61), "bstar", at1);
+  rec.element_set = parse_uint(field(line1, 65, 68), "element set", at1);
 
   KeplerElements& el = rec.elements;
-  el.inclination = deg_to_rad(parse_double(field(line2, 9, 16), "inclination"));
-  el.raan = deg_to_rad(parse_double(field(line2, 18, 25), "raan"));
-  el.eccentricity = parse_double("0." + trim(field(line2, 27, 33)), "eccentricity");
-  el.arg_perigee = deg_to_rad(parse_double(field(line2, 35, 42), "arg of perigee"));
-  el.mean_anomaly = deg_to_rad(parse_double(field(line2, 44, 51), "mean anomaly"));
-  rec.mean_motion_rev_day = parse_double(field(line2, 53, 63), "mean motion");
-  rec.revolution_number = parse_uint(field(line2, 64, 68), "revolution number");
+  el.inclination = deg_to_rad(parse_double(field(line2, 9, 16), "inclination", at2));
+  el.raan = deg_to_rad(parse_double(field(line2, 18, 25), "raan", at2));
+  el.eccentricity =
+      parse_double("0." + trim(field(line2, 27, 33)), "eccentricity", at2);
+  el.arg_perigee =
+      deg_to_rad(parse_double(field(line2, 35, 42), "arg of perigee", at2));
+  el.mean_anomaly =
+      deg_to_rad(parse_double(field(line2, 44, 51), "mean anomaly", at2));
+  rec.mean_motion_rev_day = parse_double(field(line2, 53, 63), "mean motion", at2);
+  rec.revolution_number = parse_uint(field(line2, 64, 68), "revolution number", at2);
 
-  if (rec.mean_motion_rev_day <= 0.0) fail("non-positive mean motion");
+  if (rec.mean_motion_rev_day <= 0.0) fail("non-positive mean motion" + at2);
   const double n_rad_s = rec.mean_motion_rev_day * kTwoPi / 86400.0;
   el.semi_major_axis = std::cbrt(kMuEarth / (n_rad_s * n_rad_s));
   return rec;
@@ -209,14 +232,13 @@ std::vector<TleRecord> load_tle_file(const std::string& path) {
       continue;
     }
     std::string line2;
-    if (!std::getline(in, line2)) fail("missing line 2 after line " +
-                                       std::to_string(line_number));
-    ++line_number;
-    try {
-      records.push_back(parse_tle(line, line2, name));
-    } catch (const std::exception& e) {
-      fail(std::string(e.what()) + " at " + path + ":" + std::to_string(line_number));
+    if (!std::getline(in, line2)) {
+      fail("missing line 2 after " + path + ":" + std::to_string(line_number));
     }
+    ++line_number;
+    // parse_tle pinpoints the offending line itself (path:line of line 1
+    // or line 2 of the entry, whichever failed).
+    records.push_back(parse_tle(line, line2, name, {path, line_number - 1}));
     name.clear();
   }
   return records;

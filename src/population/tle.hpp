@@ -37,11 +37,23 @@ struct TleRecord {
 /// computed over the first 68 columns.
 int tle_checksum(const std::string& line);
 
+/// Where a TLE entry came from, for error reporting: an optional source
+/// path plus the 1-based file line of the entry's first line. With the
+/// default (no context) error messages carry no location suffix.
+struct TleSourceLocation {
+  std::string path;       ///< empty = unknown source
+  std::size_t line1 = 0;  ///< 1-based file line of TLE line 1; 0 = unknown
+};
+
 /// Parses one element set from its two lines (plus an optional name).
 /// Throws std::runtime_error on malformed fields, wrong line numbers,
-/// mismatched catalog numbers or checksum failures.
+/// mismatched catalog numbers or checksum failures. When `where` carries
+/// line context, the message pinpoints the offending line as
+/// `path:line` (matching load_catalog_csv), e.g. checksum mismatches and
+/// malformed fields on line 2 of an entry report the file line of line 2.
 TleRecord parse_tle(const std::string& line1, const std::string& line2,
-                    const std::string& name = "");
+                    const std::string& name = "",
+                    const TleSourceLocation& where = {});
 
 /// Formats a record as canonical two-line strings (69 columns each,
 /// checksummed). parse_tle(format...) round-trips all fields to TLE

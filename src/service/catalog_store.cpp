@@ -1,0 +1,135 @@
+#include "service/catalog_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "orbit/geometry.hpp"
+#include "population/catalog_io.hpp"
+#include "population/tle.hpp"
+
+namespace scod {
+
+namespace {
+
+struct IdLess {
+  bool operator()(const Satellite& s, std::uint32_t id) const { return s.id < id; }
+  bool operator()(std::uint32_t id, const Satellite& s) const { return id < s.id; }
+};
+
+}  // namespace
+
+std::size_t CatalogSnapshot::index_of(std::uint32_t id) const {
+  const auto it = std::lower_bound(satellites.begin(), satellites.end(), id, IdLess{});
+  if (it == satellites.end() || it->id != id) return npos;
+  return static_cast<std::size_t>(it - satellites.begin());
+}
+
+const Satellite* CatalogSnapshot::find(std::uint32_t id) const {
+  const std::size_t i = index_of(id);
+  return i == npos ? nullptr : &satellites[i];
+}
+
+std::vector<std::uint32_t> CatalogSnapshot::modified_since(std::uint64_t since) const {
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < satellites.size(); ++i) {
+    if (modified_epoch[i] > since) ids.push_back(satellites[i].id);
+  }
+  return ids;  // ascending because satellites are id-sorted
+}
+
+CatalogStore::CatalogStore() : current_(std::make_shared<CatalogSnapshot>()) {}
+
+std::shared_ptr<const CatalogSnapshot> CatalogStore::snapshot() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+std::uint64_t CatalogStore::publish_upserts(std::span<const Satellite> batch) {
+  for (const Satellite& sat : batch) {
+    if (!is_valid_orbit(sat.elements)) {
+      throw std::invalid_argument("CatalogStore: invalid orbit for id " +
+                                  std::to_string(sat.id));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const auto old = current_.load(std::memory_order_relaxed);
+  if (batch.empty()) return old->epoch;
+
+  auto next = std::make_shared<CatalogSnapshot>(*old);
+  next->epoch = old->epoch + 1;
+  for (const Satellite& sat : batch) {
+    const auto it = std::lower_bound(next->satellites.begin(),
+                                     next->satellites.end(), sat.id, IdLess{});
+    const auto i = static_cast<std::size_t>(it - next->satellites.begin());
+    if (it != next->satellites.end() && it->id == sat.id) {
+      next->satellites[i] = sat;
+      next->modified_epoch[i] = next->epoch;
+    } else {
+      next->satellites.insert(it, sat);
+      next->modified_epoch.insert(next->modified_epoch.begin() +
+                                      static_cast<std::ptrdiff_t>(i),
+                                  next->epoch);
+    }
+  }
+  current_.store(next, std::memory_order_release);
+  return next->epoch;
+}
+
+std::uint64_t CatalogStore::upsert(const Satellite& satellite) {
+  return publish_upserts({&satellite, 1});
+}
+
+std::uint64_t CatalogStore::upsert(std::span<const Satellite> batch) {
+  return publish_upserts(batch);
+}
+
+bool CatalogStore::remove(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const auto old = current_.load(std::memory_order_relaxed);
+  const std::size_t i = old->index_of(id);
+  if (i == CatalogSnapshot::npos) return false;
+
+  auto next = std::make_shared<CatalogSnapshot>(*old);
+  next->epoch = old->epoch + 1;
+  next->satellites.erase(next->satellites.begin() + static_cast<std::ptrdiff_t>(i));
+  next->modified_epoch.erase(next->modified_epoch.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+  removals_.push_back({next->epoch, id});
+  current_.store(next, std::memory_order_release);
+  return true;
+}
+
+std::size_t CatalogStore::ingest_csv(const std::string& path) {
+  const std::vector<Satellite> rows = load_catalog_csv(path);
+  publish_upserts(rows);
+  return rows.size();
+}
+
+std::size_t CatalogStore::ingest_tle(const std::string& path) {
+  const std::vector<TleRecord> records = load_tle_file(path);
+  std::vector<Satellite> sats;
+  sats.reserve(records.size());
+  for (const TleRecord& rec : records) {
+    sats.push_back(to_satellite(rec, rec.catalog_number));
+  }
+  publish_upserts(sats);
+  return sats.size();
+}
+
+std::vector<std::uint32_t> CatalogStore::removed_since(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const auto snap = current_.load(std::memory_order_relaxed);
+  std::vector<std::uint32_t> ids;
+  for (const Removal& r : removals_) {
+    // A re-added id is covered by the modified stamps; only ids still
+    // absent need baseline eviction.
+    if (r.epoch > since && snap->index_of(r.id) == CatalogSnapshot::npos) {
+      ids.push_back(r.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace scod

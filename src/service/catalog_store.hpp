@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "orbit/elements.hpp"
+
+namespace scod {
+
+/// One immutable view of the catalog at a store epoch. Snapshots are
+/// copy-on-write: every mutation batch publishes a fresh snapshot and
+/// readers holding an older one keep a consistent catalog for as long as
+/// they need it (the screening service screens a snapshot while ingest
+/// continues concurrently).
+struct CatalogSnapshot {
+  /// Monotonically increasing store version; 0 is the empty catalog.
+  std::uint64_t epoch = 0;
+  /// Dense population in ascending-id order — the exact layout the
+  /// screeners consume (dense index i is the screener's satellite index).
+  std::vector<Satellite> satellites;
+  /// Parallel to `satellites`: the epoch at which each object was last
+  /// added or updated. The incremental re-screen derives its dirty set by
+  /// comparing these stamps against the baseline epoch.
+  std::vector<std::uint64_t> modified_epoch;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t size() const { return satellites.size(); }
+
+  /// Dense index of `id`, or npos when absent. O(log n).
+  std::size_t index_of(std::uint32_t id) const;
+
+  /// The satellite with `id`, or nullptr when absent.
+  const Satellite* find(std::uint32_t id) const;
+
+  /// Ids added or updated strictly after `epoch`, ascending.
+  std::vector<std::uint32_t> modified_since(std::uint64_t epoch) const;
+};
+
+/// Versioned in-memory satellite catalog with lock-free snapshot reads.
+///
+/// Writers (add/update/remove/bulk ingest) serialize on an internal mutex,
+/// build the next snapshot copy and publish it atomically; each mutation
+/// batch advances the epoch counter by exactly one. Readers never block:
+/// snapshot() is an atomic shared_ptr load, so a long screening pass works
+/// on a frozen catalog while deltas keep landing.
+///
+/// Thread-safe for any mix of concurrent readers and writers.
+class CatalogStore {
+ public:
+  CatalogStore();
+
+  /// Current snapshot (lock-free, wait-free for readers).
+  std::shared_ptr<const CatalogSnapshot> snapshot() const;
+
+  std::uint64_t epoch() const { return snapshot()->epoch; }
+  std::size_t size() const { return snapshot()->size(); }
+
+  /// Inserts or replaces one satellite by id. Throws std::invalid_argument
+  /// on an invalid orbit. Returns the new epoch.
+  std::uint64_t upsert(const Satellite& satellite);
+
+  /// Inserts or replaces a batch in one epoch step (later entries of the
+  /// batch win on duplicate ids). Returns the new epoch; an empty batch
+  /// leaves the store untouched.
+  std::uint64_t upsert(std::span<const Satellite> batch);
+
+  /// Removes one satellite by id. Returns true (and bumps the epoch) when
+  /// the id was present.
+  bool remove(std::uint32_t id);
+
+  /// Bulk ingest from a catalog CSV (see population/catalog_io.hpp); rows
+  /// upsert by their id column, all in one epoch step. Returns the number
+  /// of objects ingested.
+  std::size_t ingest_csv(const std::string& path);
+
+  /// Bulk ingest from a TLE file; records upsert by NORAD catalog number,
+  /// so re-ingesting a newer element set for the same object is an update,
+  /// not a duplicate. Returns the number of records ingested.
+  std::size_t ingest_tle(const std::string& path);
+
+  /// Ids removed strictly after `epoch` and not re-added since, ascending,
+  /// deduplicated. The incremental merge evicts baseline pairs with these
+  /// members; re-added ids show up as modified instead.
+  std::vector<std::uint32_t> removed_since(std::uint64_t epoch) const;
+
+ private:
+  struct Removal {
+    std::uint64_t epoch;
+    std::uint32_t id;
+  };
+
+  std::uint64_t publish_upserts(std::span<const Satellite> batch);
+
+  // Writers copy the current snapshot under this mutex, mutate the copy
+  // and publish it with an atomic store.
+  mutable std::mutex writer_mutex_;
+  std::atomic<std::shared_ptr<const CatalogSnapshot>> current_;
+  std::vector<Removal> removals_;  // guarded by writer_mutex_
+};
+
+}  // namespace scod

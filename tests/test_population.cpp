@@ -211,6 +211,36 @@ TEST(CatalogIo, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CatalogIo, EdgeOrbitsRoundTripExactly) {
+  // Parameter-boundary orbits: circular (e = 0 and e = 1e-12), equatorial
+  // (i = 0) and retrograde (i = pi, i = pi - 1e-9). The writer's precision
+  // and the reader's validation must both cope with the degenerate angles.
+  auto edge_sat = [](std::uint32_t id, double e, double i) {
+    Satellite sat;
+    sat.id = id;
+    sat.elements = {7000.0, e, i, 0.25, 0.75, 1.5};
+    return sat;
+  };
+  const std::vector<Satellite> edge = {
+      edge_sat(1, 0.0, 0.9),    edge_sat(2, 1e-12, 0.9),
+      edge_sat(3, 0.001, 0.0),  edge_sat(4, 0.001, kPi),
+      edge_sat(5, 0.001, kPi - 1e-9),
+  };
+  for (const Satellite& sat : edge) {
+    ASSERT_TRUE(is_valid_orbit(sat.elements)) << "id " << sat.id;
+  }
+
+  const std::string path = testing::TempDir() + "/scod_catalog_edge.csv";
+  save_catalog_csv(path, edge);
+  const auto loaded = load_catalog_csv(path);
+  ASSERT_EQ(loaded.size(), edge.size());
+  for (std::size_t i = 0; i < edge.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, edge[i].id);
+    EXPECT_EQ(loaded[i].elements, edge[i].elements);  // bit-exact
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CatalogIo, RejectsMalformedInput) {
   const std::string path = testing::TempDir() + "/scod_catalog_bad.csv";
   {

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "population/catalog_io.hpp"
+#include "population/generator.hpp"
+
+#ifndef SCOD_SERVE_PATH
+#error "SCOD_SERVE_PATH must be defined by the build"
+#endif
+
+namespace scod {
+namespace {
+
+struct ServeRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs scod_serve with `commands` piped to stdin and the given options.
+ServeRun run_serve(const std::string& options, const std::string& commands) {
+  const std::string script = testing::TempDir() + "/scod_serve_input.txt";
+  {
+    std::ofstream out(script);
+    out << commands;
+  }
+  const std::string command = std::string(SCOD_SERVE_PATH) + " " + options +
+                              " < " + script + " 2>&1";
+  ServeRun result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::remove(script.c_str());
+  return result;
+}
+
+std::string write_catalog(const std::string& name, std::size_t count,
+                          std::uint64_t seed) {
+  const std::string path = testing::TempDir() + "/" + name;
+  save_catalog_csv(path, generate_population({count, seed}));
+  return path;
+}
+
+TEST(Serve, RejectsUnknownOption) {
+  const ServeRun run = run_serve("--frobnicate 1", "quit\n");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("usage:"), std::string::npos);
+}
+
+TEST(Serve, IngestScreenRemoveScreenStats) {
+  const std::string catalog = write_catalog("serve_cat.csv", 800, 19);
+  const ServeRun run = run_serve(
+      "--threshold 10 --span 1800 --sps 30 --top 2",
+      "ingest " + catalog + "\n" +
+      "screen\n"
+      "remove 5\n"
+      "screen\n"
+      "stats\n"
+      "quit\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("ok ingested 800 objects, epoch 1"), std::string::npos)
+      << run.output;
+  // First screen is full, the removal-only rescreen is incremental.
+  EXPECT_NE(run.output.find("(full)"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("(incremental:"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("removed 1"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("screens: 1 full, 1 incremental"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("ok bye"), std::string::npos) << run.output;
+  std::remove(catalog.c_str());
+}
+
+TEST(Serve, SurvivesBadCommandsAndFiles) {
+  const std::string catalog = write_catalog("serve_cat2.csv", 50, 3);
+  const ServeRun run = run_serve(
+      "--threshold 5 --span 900",
+      "frobnicate\n"
+      "ingest /nonexistent/catalog.csv\n"
+      "ingest\n"
+      "remove notanumber\n"
+      "remove 123456\n"
+      "screen sideways\n"
+      "ingest " + catalog + "\n" +
+      "screen\n"
+      "quit\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("error: unknown command 'frobnicate'"),
+            std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("error: ingest needs a file path"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("error: remove needs a numeric id"),
+            std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("error: no object with id 123456"),
+            std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("error: unknown screen mode 'sideways'"),
+            std::string::npos) << run.output;
+  // The bad input did not take the service down: the later ingest+screen ran.
+  EXPECT_NE(run.output.find("ok ingested 50 objects"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("(full)"), std::string::npos) << run.output;
+  std::remove(catalog.c_str());
+}
+
+TEST(Serve, HelpAndQuit) {
+  const ServeRun run = run_serve("", "help\nquit\n");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("commands:"), std::string::npos);
+  EXPECT_NE(run.output.find("update-tle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scod

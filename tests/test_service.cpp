@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/grid_screener.hpp"
+#include "population/catalog_io.hpp"
+#include "population/generator.hpp"
+#include "population/tle.hpp"
+#include "service/screening_service.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace scod {
+namespace {
+
+Satellite make_sat(std::uint32_t id, double a = 7000.0, double raan = 0.0) {
+  Satellite sat;
+  sat.id = id;
+  sat.elements.semi_major_axis = a;
+  sat.elements.eccentricity = 0.001;
+  sat.elements.inclination = 0.9;
+  sat.elements.raan = raan;
+  sat.elements.arg_perigee = 0.3;
+  sat.elements.mean_anomaly = 1.0;
+  return sat;
+}
+
+// ---------------------------------------------------------------------------
+// CatalogStore: versioned snapshots
+
+TEST(CatalogStore, StartsEmpty) {
+  CatalogStore store;
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  const auto snap = store.snapshot();
+  EXPECT_EQ(snap->find(1), nullptr);
+  EXPECT_EQ(snap->index_of(1), CatalogSnapshot::npos);
+  EXPECT_TRUE(snap->modified_since(0).empty());
+}
+
+TEST(CatalogStore, UpsertInsertsSortedAndReplaces) {
+  CatalogStore store;
+  EXPECT_EQ(store.upsert(make_sat(5)), 1u);
+  EXPECT_EQ(store.upsert(make_sat(2)), 2u);
+
+  auto snap = store.snapshot();
+  ASSERT_EQ(snap->size(), 2u);
+  // Dense layout is ascending-id regardless of insertion order.
+  EXPECT_EQ(snap->satellites[0].id, 2u);
+  EXPECT_EQ(snap->satellites[1].id, 5u);
+  EXPECT_EQ(snap->index_of(5), 1u);
+  EXPECT_EQ(snap->modified_epoch[0], 2u);
+  EXPECT_EQ(snap->modified_epoch[1], 1u);
+
+  // Replacing by id keeps the size and restamps only that object.
+  Satellite updated = make_sat(5, 7200.0);
+  EXPECT_EQ(store.upsert(updated), 3u);
+  snap = store.snapshot();
+  ASSERT_EQ(snap->size(), 2u);
+  EXPECT_EQ(snap->find(5)->elements.semi_major_axis, 7200.0);
+  EXPECT_EQ(snap->modified_epoch[snap->index_of(5)], 3u);
+  EXPECT_EQ(snap->modified_epoch[snap->index_of(2)], 2u);
+}
+
+TEST(CatalogStore, BatchUpsertIsOneEpochStepAndLastDuplicateWins) {
+  CatalogStore store;
+  std::vector<Satellite> batch = {make_sat(3), make_sat(1),
+                                  make_sat(3, 7500.0)};
+  EXPECT_EQ(store.upsert(batch), 1u);
+  EXPECT_EQ(store.epoch(), 1u);
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap->size(), 2u);
+  EXPECT_EQ(snap->find(3)->elements.semi_major_axis, 7500.0);
+
+  // An empty batch leaves the epoch alone.
+  EXPECT_EQ(store.upsert(std::span<const Satellite>{}), 1u);
+}
+
+TEST(CatalogStore, RejectsInvalidOrbit) {
+  CatalogStore store;
+  store.upsert(make_sat(1));
+  Satellite bad = make_sat(2, 100.0);  // sub-surface
+  EXPECT_THROW(store.upsert(bad), std::invalid_argument);
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CatalogStore, SnapshotsAreImmutableCopies) {
+  CatalogStore store;
+  store.upsert(make_sat(1));
+  store.upsert(make_sat(2));
+  const auto old_snap = store.snapshot();
+
+  store.upsert(make_sat(1, 7300.0));
+  store.remove(2);
+
+  // The held snapshot still shows the world as of epoch 2.
+  EXPECT_EQ(old_snap->epoch, 2u);
+  ASSERT_EQ(old_snap->size(), 2u);
+  EXPECT_EQ(old_snap->find(1)->elements.semi_major_axis, 7000.0);
+  ASSERT_NE(old_snap->find(2), nullptr);
+
+  const auto new_snap = store.snapshot();
+  EXPECT_EQ(new_snap->epoch, 4u);
+  EXPECT_EQ(new_snap->size(), 1u);
+  EXPECT_EQ(new_snap->find(1)->elements.semi_major_axis, 7300.0);
+}
+
+TEST(CatalogStore, RemoveAndRemovedSince) {
+  CatalogStore store;
+  store.upsert(make_sat(1));
+  store.upsert(make_sat(2));  // epoch 2
+
+  EXPECT_FALSE(store.remove(99));
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_TRUE(store.remove(1));  // epoch 3
+  EXPECT_EQ(store.epoch(), 3u);
+  EXPECT_EQ(store.size(), 1u);
+
+  EXPECT_EQ(store.removed_since(2), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(store.removed_since(3).empty());
+
+  // A re-added id is a modification, not a removal: the incremental merge
+  // must treat it as dirty rather than evict-and-forget.
+  store.upsert(make_sat(1, 7100.0));  // epoch 4
+  EXPECT_TRUE(store.removed_since(2).empty());
+  const auto modified = store.snapshot()->modified_since(2);
+  EXPECT_EQ(modified, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(CatalogStore, ModifiedSinceIsAscendingAndScoped) {
+  CatalogStore store;
+  store.upsert(make_sat(4));
+  store.upsert(make_sat(2));
+  const std::uint64_t mark = store.epoch();
+  store.upsert(make_sat(9));
+  store.upsert(make_sat(2, 7400.0));
+
+  EXPECT_EQ(store.snapshot()->modified_since(mark),
+            (std::vector<std::uint32_t>{2, 9}));
+  EXPECT_TRUE(store.snapshot()->modified_since(store.epoch()).empty());
+}
+
+TEST(CatalogStore, IngestCsvUpsertsById) {
+  const auto population = generate_population({20, 17});
+  const std::string path = testing::TempDir() + "/scod_store_ingest.csv";
+  save_catalog_csv(path, population);
+
+  CatalogStore store;
+  EXPECT_EQ(store.ingest_csv(path), 20u);
+  EXPECT_EQ(store.epoch(), 1u);
+  ASSERT_EQ(store.size(), 20u);
+  const auto snap = store.snapshot();
+  for (const Satellite& sat : population) {
+    ASSERT_NE(snap->find(sat.id), nullptr);
+    EXPECT_EQ(snap->find(sat.id)->elements, sat.elements);
+  }
+
+  // Re-ingesting the same file updates in place: one epoch, same size.
+  EXPECT_EQ(store.ingest_csv(path), 20u);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_EQ(store.size(), 20u);
+  std::remove(path.c_str());
+}
+
+TleRecord tle_record(std::uint32_t catalog_number, double mean_anomaly_deg) {
+  TleRecord rec;
+  rec.name = "SVC TEST";
+  rec.catalog_number = catalog_number;
+  rec.classification = 'U';
+  rec.intl_designator = "98067A";
+  rec.epoch_year = 2026;
+  rec.epoch_day = 10.5;
+  rec.bstar = 3.0e-5;
+  rec.element_set = 1;
+  rec.revolution_number = 1000;
+  rec.mean_motion_rev_day = 15.5;
+  rec.elements.inclination = 0.9;
+  rec.elements.raan = 1.0;
+  rec.elements.eccentricity = 0.0005;
+  rec.elements.arg_perigee = 0.5;
+  rec.elements.mean_anomaly = mean_anomaly_deg * kPi / 180.0;
+  return rec;
+}
+
+TEST(CatalogStore, IngestTleUpsertsByCatalogNumber) {
+  const std::string path = testing::TempDir() + "/scod_store_ingest.tle";
+  {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    for (const auto catnum : {25544u, 11111u}) {
+      const auto [l1, l2] = format_tle(tle_record(catnum, 90.0));
+      std::fprintf(out, "%s\n%s\n", l1.c_str(), l2.c_str());
+    }
+    std::fclose(out);
+  }
+
+  CatalogStore store;
+  EXPECT_EQ(store.ingest_tle(path), 2u);
+  ASSERT_EQ(store.size(), 2u);
+  ASSERT_NE(store.snapshot()->find(25544), nullptr);
+  ASSERT_NE(store.snapshot()->find(11111), nullptr);
+
+  // A newer element set for the same NORAD number is an update.
+  {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    const auto [l1, l2] = format_tle(tle_record(25544, 180.0));
+    std::fprintf(out, "%s\n%s\n", l1.c_str(), l2.c_str());
+    std::fclose(out);
+  }
+  EXPECT_EQ(store.ingest_tle(path), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NEAR(store.snapshot()->find(25544)->elements.mean_anomaly, kPi, 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogStore, EdgeOrbitsSurviveCsvIngest) {
+  // Circular, equatorial, polar and retrograde orbits all sit on parameter
+  // boundaries (e = 0, i = 0, i = pi) where angle conventions degenerate;
+  // they must round-trip through the CSV path and the store bit-exactly.
+  std::vector<Satellite> edge;
+  Satellite circular = make_sat(1);
+  circular.elements.eccentricity = 0.0;
+  Satellite near_circular = make_sat(2);
+  near_circular.elements.eccentricity = 1e-12;
+  Satellite equatorial = make_sat(3);
+  equatorial.elements.inclination = 0.0;
+  Satellite retrograde = make_sat(4);
+  retrograde.elements.inclination = kPi;
+  Satellite near_retrograde = make_sat(5);
+  near_retrograde.elements.inclination = kPi - 1e-9;
+  edge = {circular, near_circular, equatorial, retrograde, near_retrograde};
+
+  const std::string path = testing::TempDir() + "/scod_store_edge.csv";
+  save_catalog_csv(path, edge);
+
+  CatalogStore store;
+  EXPECT_EQ(store.ingest_csv(path), edge.size());
+  const auto snap = store.snapshot();
+  for (const Satellite& sat : edge) {
+    ASSERT_NE(snap->find(sat.id), nullptr) << "id " << sat.id;
+    EXPECT_EQ(snap->find(sat.id)->elements, sat.elements) << "id " << sat.id;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ScreeningService: warm baseline and dirty-set re-screening
+
+ServiceOptions dense_options() {
+  ServiceOptions options;
+  options.config.threshold_km = 10.0;
+  options.config.t_end = 1800.0;
+  options.config.seconds_per_sample = 30.0;
+  return options;
+}
+
+/// From-scratch reference: a plain grid screen of the snapshot, mapped to
+/// id space the same way the service reports.
+std::vector<IdConjunction> reference_screen(const ServiceOptions& options,
+                                            const CatalogSnapshot& snap) {
+  const ScreeningReport dense =
+      GridScreener(options.pipeline).screen(snap.satellites, options.config);
+  std::vector<IdConjunction> out;
+  out.reserve(dense.conjunctions.size());
+  for (const Conjunction& c : dense.conjunctions) {
+    out.push_back({snap.satellites[c.sat_a].id, snap.satellites[c.sat_b].id,
+                   c.tca, c.pca});
+  }
+  std::sort(out.begin(), out.end(), [](const IdConjunction& x, const IdConjunction& y) {
+    if (x.id_a != y.id_a) return x.id_a < y.id_a;
+    if (x.id_b != y.id_b) return x.id_b < y.id_b;
+    return x.tca < y.tca;
+  });
+  return out;
+}
+
+void expect_equivalent(const std::vector<IdConjunction>& got,
+                       const std::vector<IdConjunction>& want,
+                       const char* context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id_a, want[i].id_a) << context << " [" << i << "]";
+    EXPECT_EQ(got[i].id_b, want[i].id_b) << context << " [" << i << "]";
+    // Clean pairs carry over verbatim and dirty pairs re-refine on the
+    // identical grid, so agreement is far inside the Brent tolerance.
+    EXPECT_NEAR(got[i].tca, want[i].tca, 1e-6) << context << " [" << i << "]";
+    EXPECT_NEAR(got[i].pca, want[i].pca, 1e-9) << context << " [" << i << "]";
+  }
+}
+
+TEST(ScreeningService, PinsSamplePeriodAtConstruction) {
+  ServiceOptions options;
+  options.config.seconds_per_sample = 0.0;  // unset: take the pipeline's
+  ScreeningService service(options);
+  EXPECT_GT(service.options().config.seconds_per_sample, 0.0);
+  EXPECT_EQ(service.options().config.seconds_per_sample,
+            service.options().pipeline.seconds_per_sample);
+
+  ServiceOptions pinned;
+  pinned.config.seconds_per_sample = 12.0;
+  ScreeningService explicit_service(pinned);
+  EXPECT_EQ(explicit_service.options().pipeline.seconds_per_sample, 12.0);
+}
+
+TEST(ScreeningService, EmptyCatalogScreensToNothing) {
+  ScreeningService service(dense_options());
+  const ServiceReport report = service.screen();
+  EXPECT_EQ(report.epoch, 0u);
+  EXPECT_EQ(report.catalog_size, 0u);
+  EXPECT_TRUE(report.conjunctions.empty());
+}
+
+TEST(ScreeningService, SecondScreenWithoutDeltaIsCached) {
+  ScreeningService service(dense_options());
+  service.upsert(generate_population({300, 5}));
+  const ServiceReport first = service.screen();
+  EXPECT_FALSE(first.incremental);
+
+  const ServiceReport second = service.screen();
+  EXPECT_TRUE(second.incremental);
+  EXPECT_EQ(second.carried, first.conjunctions.size());
+  EXPECT_EQ(second.refreshed, 0u);
+  ASSERT_EQ(second.conjunctions.size(), first.conjunctions.size());
+  EXPECT_EQ(service.stats().cached_screens, 1u);
+  EXPECT_EQ(service.stats().full_screens, 1u);
+}
+
+TEST(ScreeningService, AutoModeFallsBackToFullOnHighChurn) {
+  ServiceOptions options = dense_options();
+  options.full_rescreen_fraction = 0.25;
+  ScreeningService service(options);
+  const auto population = generate_population({200, 5});
+  service.upsert(population);
+  service.screen();
+
+  // Touch half the catalog: auto mode must choose the full path.
+  std::vector<Satellite> delta(population.begin(),
+                               population.begin() + 100);
+  for (Satellite& sat : delta) sat.elements.mean_anomaly += 0.01;
+  service.upsert(delta);
+  const ServiceReport report = service.screen();
+  EXPECT_FALSE(report.incremental);
+  EXPECT_EQ(service.stats().full_screens, 2u);
+  EXPECT_EQ(service.stats().incremental_screens, 0u);
+}
+
+TEST(ScreeningService, RemovalOnlyDeltaEvictsWithoutRescreening) {
+  ScreeningService service(dense_options());
+  service.upsert(generate_population({1200, 11}));
+  const ServiceReport baseline = service.screen();
+  ASSERT_FALSE(baseline.conjunctions.empty());  // workload sanity
+
+  // Remove one member of some baseline conjunction.
+  const std::uint32_t victim = baseline.conjunctions.front().id_a;
+  ASSERT_TRUE(service.remove(victim));
+  const ServiceReport report = service.screen(ScreenMode::kIncremental);
+
+  EXPECT_TRUE(report.incremental);
+  EXPECT_EQ(report.refreshed, 0u);
+  EXPECT_GE(report.evicted, 1u);
+  // No pipeline pass ran: phase timings stay zero.
+  EXPECT_EQ(report.timings.insertion, 0.0);
+
+  const auto want = reference_screen(service.options(),
+                                     *service.store().snapshot());
+  expect_equivalent(report.conjunctions, want, "removal-only");
+}
+
+/// The acceptance test: randomized delta sequences (adds, updates,
+/// removals), each followed by a forced-incremental screen whose merged
+/// report must equal a from-scratch screen of the same snapshot.
+TEST(ScreeningService, IncrementalMatchesFromScratchOverRandomDeltas) {
+  ScreeningService service(dense_options());
+  const auto population = generate_population({1500, 23});
+  service.upsert(population);
+
+  const ServiceReport baseline = service.screen();
+  ASSERT_FALSE(baseline.conjunctions.empty());  // workload sanity
+  expect_equivalent(baseline.conjunctions,
+                    reference_screen(service.options(),
+                                     *service.store().snapshot()),
+                    "baseline");
+
+  Rng rng(99);
+  std::uint32_t next_id = 1000000;
+  for (int round = 0; round < 3; ++round) {
+    // Updates: small maneuvers on random objects.
+    const auto snap = service.store().snapshot();
+    std::vector<Satellite> updates;
+    for (int k = 0; k < 12; ++k) {
+      Satellite sat = snap->satellites[rng.uniform_index(snap->size())];
+      sat.elements.mean_anomaly += rng.uniform(-0.05, 0.05);
+      sat.elements.raan += rng.uniform(-0.02, 0.02);
+      updates.push_back(sat);
+    }
+    service.upsert(updates);
+
+    // Removals: random objects (skip ones already gone this round).
+    for (int k = 0; k < 2; ++k) {
+      const auto current = service.store().snapshot();
+      const Satellite& victim =
+          current->satellites[rng.uniform_index(current->size())];
+      service.remove(victim.id);
+    }
+
+    // Adds: new ids on perturbed clones of existing orbits.
+    std::vector<Satellite> adds;
+    for (int k = 0; k < 2; ++k) {
+      Satellite sat = snap->satellites[rng.uniform_index(snap->size())];
+      sat.id = next_id++;
+      sat.elements.raan += rng.uniform(0.0, kTwoPi);
+      sat.elements.mean_anomaly += rng.uniform(0.0, kTwoPi);
+      adds.push_back(sat);
+    }
+    service.upsert(adds);
+
+    const ServiceReport report = service.screen(ScreenMode::kIncremental);
+    EXPECT_TRUE(report.incremental) << "round " << round;
+    EXPECT_GE(report.dirty, updates.size()) << "round " << round;
+
+    const auto want = reference_screen(service.options(),
+                                       *service.store().snapshot());
+    expect_equivalent(report.conjunctions, want,
+                      ("round " + std::to_string(round)).c_str());
+  }
+  EXPECT_EQ(service.stats().incremental_screens, 3u);
+}
+
+TEST(ScreeningService, StatsCountersTrackActivity) {
+  ScreeningService service(dense_options());
+  const auto population = generate_population({100, 7});
+  service.upsert(population);
+  service.upsert(population.front());
+  service.remove(population.front().id);
+  service.screen();
+
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.upserts, population.size() + 1);
+  EXPECT_EQ(stats.removals, 1u);
+  EXPECT_EQ(stats.full_screens, 1u);
+  EXPECT_EQ(stats.last_epoch_screened, service.store().epoch());
+  EXPECT_GT(stats.total_screen_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace scod

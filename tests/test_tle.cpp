@@ -181,6 +181,80 @@ TEST(TleFile, ReportsLineNumberOfBadEntry) {
   std::remove(path.c_str());
 }
 
+TEST(TleFile, ChecksumErrorReportsOffendingLineNumber) {
+  // Two entries; the checksum of the FIRST line of the SECOND entry (file
+  // line 3) is corrupted. The error must name path:3 — not the entry's
+  // last line — alongside the offending line text.
+  const std::string path = testing::TempDir() + "/scod_tle_cksum.txt";
+  const auto [l1, l2] = format_tle(sample_record());
+  TleRecord other = sample_record();
+  other.catalog_number = 11111;
+  auto [o1, o2] = format_tle(other);
+  o1[68] = o1[68] == '0' ? '1' : '0';  // break the stored checksum digit
+  {
+    std::ofstream out(path);
+    out << l1 << "\n" << l2 << "\n" << o1 << "\n" << o2 << "\n";
+  }
+  try {
+    load_tle_file(path);
+    FAIL() << "expected a checksum error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TleFile, MalformedFieldReportsOffendingLineNumber) {
+  // A malformed field on line 1 of the second entry (file line 4; the
+  // first entry is name-prefixed, lines 1-3). Column 20 sits in the epoch
+  // year; the checksum is recomputed so the field parser is what trips.
+  const std::string path = testing::TempDir() + "/scod_tle_field.txt";
+  const auto [l1, l2] = format_tle(sample_record());
+  TleRecord other = sample_record();
+  other.catalog_number = 11111;
+  auto [o1, o2] = format_tle(other);
+  o1[19] = 'x';
+  o1[68] = static_cast<char>('0' + tle_checksum(o1));
+  {
+    std::ofstream out(path);
+    out << "NAMED SAT\n" << l1 << "\n" << l2 << "\n" << o1 << "\n" << o2 << "\n";
+  }
+  try {
+    load_tle_file(path);
+    FAIL() << "expected a field parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad epoch year field"), std::string::npos) << what;
+    EXPECT_NE(what.find(path + ":4"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TleParse, StandaloneLocationUsesBareLineNumbers) {
+  // parse_tle with line context but no path says "at line N"; line-2
+  // errors point one past the entry's first line.
+  const auto [l1, l2] = format_tle(sample_record());
+  std::string bad2 = l2;
+  bad2[30] = 'x';
+  bad2[68] = static_cast<char>('0' + tle_checksum(bad2));
+  try {
+    parse_tle(l1, bad2, "", {"", 7});
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at line 8"), std::string::npos)
+        << e.what();
+  }
+  // Without context the messages stay unadorned.
+  try {
+    parse_tle(l1, bad2);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).find("at line"), std::string::npos) << e.what();
+  }
+}
+
 TEST(TleToSatellite, UsesGivenIndex) {
   const TleRecord rec = sample_record();
   const Satellite sat = to_satellite(rec, 42);
