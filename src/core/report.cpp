@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace scod {
 
@@ -40,6 +41,51 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> ScreeningReport::colliding_
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   return pairs;
+}
+
+ConjunctionSetDiff compare_conjunction_sets(std::vector<Conjunction> first,
+                                            std::vector<Conjunction> second,
+                                            const ConjunctionMatchOptions& options) {
+  first = merge_conjunctions(std::move(first), options.tca_window);
+  second = merge_conjunctions(std::move(second), options.tca_window);
+
+  ConjunctionSetDiff diff;
+  std::size_t i = 0, j = 0;
+  const auto pair_key = [](const Conjunction& c) {
+    return (static_cast<std::uint64_t>(c.sat_a) << 32) | c.sat_b;
+  };
+  while (i < first.size() && j < second.size()) {
+    const Conjunction& a = first[i];
+    const Conjunction& b = second[j];
+    if (pair_key(a) != pair_key(b)) {
+      if (pair_key(a) < pair_key(b)) {
+        diff.only_in_first.push_back(a);
+        ++i;
+      } else {
+        diff.only_in_second.push_back(b);
+        ++j;
+      }
+      continue;
+    }
+    // Same pair: greedy TCA-order matching within the window.
+    if (std::abs(a.tca - b.tca) <= options.tca_window) {
+      ++diff.matched;
+      if (std::abs(a.pca - b.pca) > options.pca_tolerance) {
+        diff.pca_mismatches.emplace_back(a, b);
+      }
+      ++i;
+      ++j;
+    } else if (a.tca < b.tca) {
+      diff.only_in_first.push_back(a);
+      ++i;
+    } else {
+      diff.only_in_second.push_back(b);
+      ++j;
+    }
+  }
+  for (; i < first.size(); ++i) diff.only_in_first.push_back(first[i]);
+  for (; j < second.size(); ++j) diff.only_in_second.push_back(second[j]);
+  return diff;
 }
 
 PairSetDiff compare_pair_sets(

@@ -83,4 +83,33 @@ PairSetDiff compare_pair_sets(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& first,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& second);
 
+/// Tolerances for event-level conjunction-set matching: two events of the
+/// same pair whose TCAs fall within `tca_window` describe the same physical
+/// minimum (the paper's V-D accuracy study matches events, not just pairs).
+struct ConjunctionMatchOptions {
+  double tca_window = 5.0;     ///< [s] TCA distance treated as "same event"
+  double pca_tolerance = 0.05; ///< [km] matched events must agree to this
+};
+
+/// Event-level diff of two conjunction sets. Each input is canonicalized
+/// (sorted, duplicates within the window merged) before matching; matching
+/// is greedy in TCA order within each pair.
+struct ConjunctionSetDiff {
+  std::size_t matched = 0;  ///< events paired up within the tolerances
+  std::vector<Conjunction> only_in_first;
+  std::vector<Conjunction> only_in_second;
+  /// Events matched in (pair, TCA) whose PCAs disagree beyond
+  /// pca_tolerance: (first's event, second's event).
+  std::vector<std::pair<Conjunction, Conjunction>> pca_mismatches;
+
+  bool identical() const {
+    return only_in_first.empty() && only_in_second.empty() &&
+           pca_mismatches.empty();
+  }
+};
+
+ConjunctionSetDiff compare_conjunction_sets(std::vector<Conjunction> first,
+                                            std::vector<Conjunction> second,
+                                            const ConjunctionMatchOptions& options = {});
+
 }  // namespace scod

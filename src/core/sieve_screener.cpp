@@ -102,14 +102,16 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
             }
             // Proximity window: bracket the local minimum around t. The
             // window cannot be wider than the time to traverse the coarse
-            // sphere at the lowest realistic speed.
+            // sphere at the lowest realistic speed. Clamp to the span so a
+            // minimum sitting exactly on t_begin/t_end is reported instead
+            // of being discarded toward a neighbouring interval that does
+            // not exist.
             const double half = std::max(2.0 * coarse / closing_speed, 2.0);
             const auto enc =
-                refine_on_interval_fn(pair_distance, t - half, t + half,
-                                      config.refine);
+                refine_candidate_fn(pair_distance, t, half, config.t_begin,
+                                    config.t_end, config.refine);
             ++local_refines;
-            if (enc.has_value() && enc->pca <= config.threshold_km &&
-                enc->tca >= config.t_begin && enc->tca <= config.t_end) {
+            if (enc.has_value() && enc->pca <= config.threshold_km) {
               encounters.push_back(*enc);
             }
             t += half + options_.min_skip;  // move past this window

@@ -161,6 +161,13 @@ ServiceReport ScreeningService::incremental_screen(
   return report;
 }
 
+std::vector<IdConjunction> ScreeningService::reference_conjunctions() const {
+  const std::shared_ptr<const CatalogSnapshot> snap = store_.snapshot();
+  const ScreeningReport dense =
+      GridScreener(options_.pipeline).screen(snap->satellites, options_.config);
+  return to_id_space(dense.conjunctions, *snap);
+}
+
 ServiceReport ScreeningService::screen(ScreenMode mode) {
   Stopwatch total_watch;
   std::shared_ptr<const CatalogSnapshot> snap = store_.snapshot();

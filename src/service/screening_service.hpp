@@ -117,6 +117,13 @@ class ScreeningService {
   /// delta since the last pass the cached report is returned directly.
   ServiceReport screen(ScreenMode mode = ScreenMode::kAuto);
 
+  /// Delta-equivalence reference: a from-scratch screen of the current
+  /// snapshot with the service's pinned config, in id space, WITHOUT
+  /// touching the warm baseline, counters, or stats. The incremental path
+  /// is documented to reproduce this exactly; the verify subsystem (and
+  /// test_service) diff screen()'s merged report against it.
+  std::vector<IdConjunction> reference_conjunctions() const;
+
  private:
   ServiceReport full_screen(std::shared_ptr<const CatalogSnapshot> snap);
   ServiceReport incremental_screen(std::shared_ptr<const CatalogSnapshot> snap,

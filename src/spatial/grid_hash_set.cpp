@@ -66,7 +66,12 @@ bool GridHashSet::insert(std::uint64_t cell_key, std::uint32_t satellite,
   if (probes > slot_mask_) return false;  // slot table full
 
   const std::uint32_t index = entry_count_.fetch_add(1, std::memory_order_acq_rel);
-  if (index >= entries_.size()) return false;  // entry pool exhausted
+  if (index >= entries_.size()) {
+    // Give the ticket back so size() stays the number of stored entries
+    // even after rejected inserts.
+    entry_count_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;  // entry pool exhausted
+  }
 
   GridEntry& e = entries_[index];
   e.position = position;

@@ -1,0 +1,141 @@
+#include "verify/case_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scod::verify {
+
+namespace {
+
+constexpr const char* kMagic = "scod-fuzz-case v1";
+
+std::string format_elements(const KeplerElements& el) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.17g %.17g %.17g %.17g %.17g %.17g",
+                el.semi_major_axis, el.eccentricity, el.inclination, el.raan,
+                el.arg_perigee, el.mean_anomaly);
+  return buf;
+}
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error("load_case: " + path + ":" + std::to_string(line) +
+                           ": " + what);
+}
+
+Satellite parse_satellite(std::istringstream& in, const std::string& path,
+                          std::size_t line) {
+  Satellite sat;
+  KeplerElements& el = sat.elements;
+  if (!(in >> sat.id >> el.semi_major_axis >> el.eccentricity >> el.inclination >>
+        el.raan >> el.arg_perigee >> el.mean_anomaly)) {
+    fail(path, line, "malformed satellite record");
+  }
+  return sat;
+}
+
+}  // namespace
+
+void save_case(const std::string& path, const FuzzCase& fuzz_case) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_case: cannot open " + path);
+
+  char buf[256];
+  out << kMagic << '\n';
+  out << "seed " << fuzz_case.seed << '\n';
+  std::snprintf(buf, sizeof(buf),
+                "config %.17g %.17g %.17g %.17g", fuzz_case.config.threshold_km,
+                fuzz_case.config.t_begin, fuzz_case.config.t_end,
+                fuzz_case.config.seconds_per_sample);
+  out << buf << '\n';
+  for (std::size_t i = 0; i < fuzz_case.satellites.size(); ++i) {
+    const Satellite& sat = fuzz_case.satellites[i];
+    const OrbitRegime regime = i < fuzz_case.regimes.size()
+                                   ? fuzz_case.regimes[i]
+                                   : OrbitRegime::kBackgroundShell;
+    out << "sat " << sat.id << ' ' << format_elements(sat.elements) << ' '
+        << regime_name(regime) << '\n';
+  }
+  for (const Satellite& sat : fuzz_case.delta_updates) {
+    out << "update " << sat.id << ' ' << format_elements(sat.elements) << '\n';
+  }
+  for (const std::uint32_t id : fuzz_case.delta_removals) {
+    out << "remove " << id << '\n';
+  }
+  for (const Satellite& sat : fuzz_case.delta_adds) {
+    out << "add " << sat.id << ' ' << format_elements(sat.elements) << '\n';
+  }
+  if (!out) throw std::runtime_error("save_case: write failed for " + path);
+}
+
+FuzzCase load_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_case: cannot open " + path);
+
+  FuzzCase out;
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line) || line != kMagic) {
+    fail(path, 1, "missing '" + std::string(kMagic) + "' header");
+  }
+  ++line_no;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "seed") {
+      if (!(fields >> out.seed)) fail(path, line_no, "malformed seed");
+    } else if (tag == "config") {
+      if (!(fields >> out.config.threshold_km >> out.config.t_begin >>
+            out.config.t_end >> out.config.seconds_per_sample)) {
+        fail(path, line_no, "malformed config");
+      }
+    } else if (tag == "sat") {
+      out.satellites.push_back(parse_satellite(fields, path, line_no));
+      std::string regime;
+      if (!(fields >> regime)) fail(path, line_no, "satellite missing regime");
+      out.regimes.push_back(regime_from_name(regime));
+    } else if (tag == "update") {
+      out.delta_updates.push_back(parse_satellite(fields, path, line_no));
+    } else if (tag == "remove") {
+      std::uint32_t id = 0;
+      if (!(fields >> id)) fail(path, line_no, "malformed remove");
+      out.delta_removals.push_back(id);
+    } else if (tag == "add") {
+      out.delta_adds.push_back(parse_satellite(fields, path, line_no));
+    } else {
+      fail(path, line_no, "unknown record '" + tag + "'");
+    }
+  }
+  if (out.satellites.size() < 2) {
+    fail(path, line_no, "a case needs at least two satellites");
+  }
+  if (!(out.config.t_begin < out.config.t_end)) {
+    fail(path, line_no, "empty time span");
+  }
+  return out;
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace scod::verify

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/adversarial.hpp"
+
+namespace scod::verify {
+
+/// Saves a case as a replayable text file (`scod_fuzz --case FILE`). The
+/// format is line-based and hand-editable; doubles are printed with 17
+/// significant digits so a replay reproduces the run bit-exactly.
+void save_case(const std::string& path, const FuzzCase& fuzz_case);
+
+/// Loads a case saved by save_case(). Throws std::runtime_error with the
+/// offending path:line on malformed input.
+FuzzCase load_case(const std::string& path);
+
+/// All `*.case` files directly under `dir`, sorted by filename — the
+/// regression-corpus listing (`scod_fuzz --corpus DIR`).
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace scod::verify

@@ -1,0 +1,236 @@
+#include "verify/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "service/screening_service.hpp"
+
+namespace scod::verify {
+
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::string event_detail(const char* what, const Conjunction& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %u-%u tca=%.3f pca=%.6f", what, c.sat_a,
+                c.sat_b, c.tca, c.pca);
+  return buf;
+}
+
+/// Diffs one screener's report against the oracle record (which extends to
+/// slack * threshold so soundness can be checked above the threshold too).
+void diff_against_oracle(const std::string& name,
+                         const std::vector<Conjunction>& report,
+                         const std::vector<Conjunction>& oracle,
+                         double threshold, const DiffTolerances& tol,
+                         std::vector<Divergence>& out) {
+  std::unordered_map<std::uint64_t, std::vector<const Conjunction*>> by_pair;
+  for (const Conjunction& c : oracle) {
+    by_pair[pair_key(c.sat_a, c.sat_b)].push_back(&c);
+  }
+
+  const double band_lo = threshold * (1.0 - tol.threshold_band);
+
+  // Completeness: every oracle event comfortably below the threshold must
+  // appear in the report (the grid guarantee of Fig. 4 admits no skips).
+  std::unordered_map<std::uint64_t, std::vector<const Conjunction*>> report_by_pair;
+  for (const Conjunction& c : report) {
+    report_by_pair[pair_key(c.sat_a, c.sat_b)].push_back(&c);
+  }
+  for (const Conjunction& c : oracle) {
+    if (c.pca > band_lo) continue;
+    bool found = false;
+    const auto it = report_by_pair.find(pair_key(c.sat_a, c.sat_b));
+    if (it != report_by_pair.end()) {
+      for (const Conjunction* r : it->second) {
+        if (std::abs(r->tca - c.tca) <= tol.tca_window) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      out.push_back({name, Divergence::Kind::kMissed, c,
+                     event_detail("missed oracle event", c)});
+    }
+  }
+
+  // Soundness: everything reported must be sub-threshold and correspond to
+  // an oracle event with an agreeing PCA.
+  for (const Conjunction& c : report) {
+    if (c.pca > threshold * (1.0 + 1e-9)) {
+      out.push_back({name, Divergence::Kind::kSpurious, c,
+                     event_detail("above-threshold report", c)});
+      continue;
+    }
+    const Conjunction* best = nullptr;
+    const auto it = by_pair.find(pair_key(c.sat_a, c.sat_b));
+    if (it != by_pair.end()) {
+      for (const Conjunction* o : it->second) {
+        if (std::abs(o->tca - c.tca) > tol.tca_window) continue;
+        if (best == nullptr ||
+            std::abs(o->tca - c.tca) < std::abs(best->tca - c.tca)) {
+          best = o;
+        }
+      }
+    }
+    if (best == nullptr) {
+      out.push_back({name, Divergence::Kind::kSpurious, c,
+                     event_detail("invented event", c)});
+    } else if (std::abs(best->pca - c.pca) > tol.pca_tolerance) {
+      out.push_back({name, Divergence::Kind::kPcaMismatch, c,
+                     event_detail("pca mismatch vs oracle", c) +
+                         " oracle_pca=" + std::to_string(best->pca)});
+    }
+  }
+}
+
+/// Runs the case's randomized delta through the incremental service and
+/// requires the merged report to equal the from-scratch reference (the
+/// service's documented exactness contract, far inside Brent tolerance).
+void diff_service(const FuzzCase& fuzz_case, std::vector<Divergence>& out) {
+  ServiceOptions service_options;
+  service_options.config = fuzz_case.config;
+  ScreeningService service(service_options);
+
+  service.upsert(fuzz_case.satellites);
+  service.screen();  // warm baseline
+
+  if (!fuzz_case.delta_updates.empty()) service.upsert(fuzz_case.delta_updates);
+  for (const std::uint32_t id : fuzz_case.delta_removals) service.remove(id);
+  if (!fuzz_case.delta_adds.empty()) service.upsert(fuzz_case.delta_adds);
+
+  const ServiceReport incremental = service.screen(ScreenMode::kIncremental);
+  const std::vector<IdConjunction> reference = service.reference_conjunctions();
+
+  const auto mismatch = [&](const char* what, const IdConjunction& c) {
+    Conjunction event{c.id_a, c.id_b, c.tca, c.pca};
+    out.push_back({"service", Divergence::Kind::kServiceMismatch, event,
+                   event_detail(what, event)});
+  };
+
+  if (incremental.conjunctions.size() != reference.size()) {
+    // Report the first few set-difference entries for diagnosis.
+    std::size_t reported = 0;
+    for (const IdConjunction& want : reference) {
+      const bool present = std::any_of(
+          incremental.conjunctions.begin(), incremental.conjunctions.end(),
+          [&](const IdConjunction& got) {
+            return got.id_a == want.id_a && got.id_b == want.id_b &&
+                   std::abs(got.tca - want.tca) <= 1e-6;
+          });
+      if (!present && reported++ < 4) mismatch("incremental missing", want);
+    }
+    for (const IdConjunction& got : incremental.conjunctions) {
+      const bool expected = std::any_of(
+          reference.begin(), reference.end(), [&](const IdConjunction& want) {
+            return got.id_a == want.id_a && got.id_b == want.id_b &&
+                   std::abs(got.tca - want.tca) <= 1e-6;
+          });
+      if (!expected && reported++ < 8) mismatch("incremental extra", got);
+    }
+    if (reported == 0) {
+      mismatch("incremental size mismatch",
+               IdConjunction{0, 0, 0.0,
+                             static_cast<double>(incremental.conjunctions.size()) -
+                                 static_cast<double>(reference.size())});
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const IdConjunction& got = incremental.conjunctions[i];
+    const IdConjunction& want = reference[i];
+    if (got.id_a != want.id_a || got.id_b != want.id_b ||
+        std::abs(got.tca - want.tca) > 1e-6 ||
+        std::abs(got.pca - want.pca) > 1e-9) {
+      mismatch("incremental entry differs from reference", got);
+    }
+  }
+}
+
+}  // namespace
+
+const char* divergence_kind_name(Divergence::Kind kind) {
+  switch (kind) {
+    case Divergence::Kind::kMissed: return "missed";
+    case Divergence::Kind::kSpurious: return "spurious";
+    case Divergence::Kind::kPcaMismatch: return "pca-mismatch";
+    case Divergence::Kind::kServiceMismatch: return "service-mismatch";
+  }
+  return "unknown";
+}
+
+void RunStats::add(const CaseResult& result) {
+  ++cases;
+  if (!result.ok()) ++divergent_cases;
+  divergences += result.divergences.size();
+  oracle_events += result.oracle_events;
+  must_find += result.must_find;
+  near_misses += result.near_misses;
+  for (const Divergence& d : result.divergences) {
+    ++divergences_by_screener[d.screener];
+  }
+}
+
+std::string RunStats::to_json() const {
+  std::string json = "{";
+  const auto field = [&](const char* key, std::size_t value, bool comma = true) {
+    json += '"';
+    json += key;
+    json += "\":";
+    json += std::to_string(value);
+    if (comma) json += ',';
+  };
+  field("cases", cases);
+  field("divergent_cases", divergent_cases);
+  field("divergences", divergences);
+  field("oracle_events", oracle_events);
+  field("must_find", must_find);
+  field("near_misses", near_misses);
+  json += "\"by_screener\":{";
+  bool first = true;
+  for (const auto& [name, count] : divergences_by_screener) {
+    if (!first) json += ',';
+    first = false;
+    json += '"' + name + "\":" + std::to_string(count);
+  }
+  json += "}}";
+  return json;
+}
+
+CaseResult run_differential(const FuzzCase& fuzz_case,
+                            const DifferentialOptions& options) {
+  CaseResult result;
+  const double threshold = fuzz_case.config.threshold_km;
+  const DiffTolerances& tol = options.tolerances;
+
+  const std::vector<Conjunction> oracle =
+      oracle_conjunctions(fuzz_case.satellites, fuzz_case.config, options.oracle);
+  for (const Conjunction& c : oracle) {
+    if (c.pca <= threshold) ++result.oracle_events;
+    if (c.pca <= threshold * (1.0 - tol.threshold_band)) {
+      ++result.must_find;
+    } else if (c.pca <= threshold * (1.0 + tol.threshold_band)) {
+      ++result.near_misses;
+    }
+  }
+
+  for (const Variant variant : options.variants) {
+    const ScreeningReport report =
+        screen(fuzz_case.satellites, fuzz_case.config, variant);
+    diff_against_oracle(variant_name(variant), report.conjunctions, oracle,
+                        threshold, tol, result.divergences);
+  }
+
+  if (options.check_service) {
+    diff_service(fuzz_case, result.divergences);
+  }
+  return result;
+}
+
+}  // namespace scod::verify

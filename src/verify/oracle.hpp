@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "orbit/elements.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scod::verify {
+
+/// Options of the reference oracle.
+struct OracleOptions {
+  /// Dense sampling step [s]. Must be well below half the shortest
+  /// encounter-signal variation; 2 s resolves LEO flybys comfortably.
+  double step = 2.0;
+  /// Events are recorded up to slack * threshold so the differential
+  /// runner can classify near-misses and check soundness of everything a
+  /// screener reports, not only sub-threshold hits.
+  double slack = 1.3;
+  ThreadPool* pool = nullptr;  ///< nullptr: process-global pool
+};
+
+/// Dense-time-scan reference oracle: exhaustively scans every satellite
+/// pair with filters/dense_scan (sampling + Brent bracketing) and reports
+/// all encounters with PCA <= slack * threshold, canonically sorted.
+///
+/// Deliberately independent of the structures under test: no grids, no
+/// hash sets, no orbital filters, no candidate machinery — just the
+/// propagator and a 1-D minimum search per pair, the same construction the
+/// paper's Section V-D accuracy study (and the reference oracles of Bak &
+/// Hobbs and Visser) trusts as ground truth.
+std::vector<Conjunction> oracle_conjunctions(std::span<const Satellite> satellites,
+                                             const ScreeningConfig& config,
+                                             const OracleOptions& options = {});
+
+}  // namespace scod::verify

@@ -1,0 +1,118 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace scod::verify {
+
+namespace {
+
+/// Copy of `c` without satellites [begin, end); the service delta is
+/// pruned of entries referencing dropped ids.
+FuzzCase without_range(const FuzzCase& c, std::size_t begin, std::size_t end) {
+  FuzzCase reduced = c;
+  reduced.satellites.erase(reduced.satellites.begin() + begin,
+                           reduced.satellites.begin() + end);
+  reduced.regimes.erase(reduced.regimes.begin() + begin,
+                        reduced.regimes.begin() + end);
+
+  std::unordered_set<std::uint32_t> kept;
+  for (const Satellite& sat : reduced.satellites) kept.insert(sat.id);
+  std::erase_if(reduced.delta_updates,
+                [&](const Satellite& s) { return kept.count(s.id) == 0; });
+  std::erase_if(reduced.delta_removals,
+                [&](std::uint32_t id) { return kept.count(id) == 0; });
+  return reduced;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(FuzzCase failing, const DivergencePredicate& still_fails,
+                         const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.initial_objects = failing.size();
+
+  const auto check = [&](const FuzzCase& candidate) {
+    if (result.checks >= options.max_checks) return false;
+    ++result.checks;
+    return still_fails(candidate);
+  };
+
+  // Phase 1 — object reduction (ddmin): drop chunks of satellites,
+  // halving the chunk size until single-object removals stop sticking.
+  std::size_t chunk = std::max<std::size_t>(1, failing.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < failing.size() && failing.size() > 2) {
+      const std::size_t end = std::min(start + chunk, failing.size());
+      // Never drop below two objects — a conjunction needs a pair.
+      if (failing.size() - (end - start) < 2) {
+        ++start;
+        continue;
+      }
+      const FuzzCase candidate = without_range(failing, start, end);
+      if (check(candidate)) {
+        failing = candidate;
+        removed_any = true;  // the next chunk slid into `start`
+      } else {
+        start = end;
+      }
+    }
+    if (removed_any) continue;   // rescan at the same granularity
+    if (chunk == 1) break;       // 1-minimal (or out of budget)
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+
+  // Phase 2 — narrow the time window around the surviving activity.
+  if (options.narrow_window) {
+    const double min_span = 4.0 * std::max(failing.config.seconds_per_sample, 1.0);
+    for (double fraction : {0.5, 0.25, 0.125}) {
+      for (bool from_end : {true, false}) {
+        for (;;) {
+          const double span = failing.config.t_end - failing.config.t_begin;
+          const double cut = span * fraction;
+          if (span - cut < min_span) break;
+          FuzzCase candidate = failing;
+          if (from_end) {
+            candidate.config.t_end -= cut;
+          } else {
+            candidate.config.t_begin += cut;
+          }
+          if (!check(candidate)) break;
+          failing = candidate;
+        }
+      }
+    }
+  }
+
+  // Phase 3 — canonicalize the surviving elements: each simplification is
+  // kept only if the divergence survives it.
+  if (options.simplify_elements) {
+    for (std::size_t i = 0; i < failing.size(); ++i) {
+      const auto try_tweak = [&](auto&& tweak) {
+        FuzzCase candidate = failing;
+        tweak(candidate.satellites[i].elements);
+        if (candidate.satellites[i].elements == failing.satellites[i].elements) {
+          return;  // no-op, don't burn a check
+        }
+        if (check(candidate)) failing = candidate;
+      };
+      try_tweak([](KeplerElements& el) { el.eccentricity = 0.0; });
+      try_tweak([](KeplerElements& el) { el.raan = 0.0; });
+      try_tweak([](KeplerElements& el) { el.arg_perigee = 0.0; });
+      try_tweak([](KeplerElements& el) {
+        el.mean_anomaly = std::round(el.mean_anomaly * 1e3) / 1e3;
+      });
+      try_tweak([](KeplerElements& el) {
+        el.semi_major_axis = std::round(el.semi_major_axis * 10.0) / 10.0;
+      });
+    }
+  }
+
+  result.minimized = std::move(failing);
+  return result;
+}
+
+}  // namespace scod::verify

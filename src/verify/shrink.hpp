@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "verify/adversarial.hpp"
+
+namespace scod::verify {
+
+/// Returns true when the (reduced) case still exhibits the failure being
+/// minimized — typically `!run_differential(c).ok()`.
+using DivergencePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  /// Budget on predicate evaluations; each one re-screens the case, so the
+  /// shrink cost is bounded and predictable.
+  std::size_t max_checks = 500;
+  /// Try canonicalizing elements (zero eccentricity, snap inclinations,
+  /// zero node/perigee angles) once the population is minimal.
+  bool simplify_elements = true;
+  /// Try narrowing [t_begin, t_end] around the surviving activity.
+  bool narrow_window = true;
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  std::size_t initial_objects = 0;
+  std::size_t checks = 0;  ///< predicate evaluations spent
+};
+
+/// Greedy delta-debugging minimizer: repeatedly drops object chunks
+/// (halving the chunk size down to single objects), narrows the time
+/// window, and simplifies the surviving elements — accepting every
+/// reduction for which `still_fails` holds. The returned case is 1-minimal
+/// in objects (no single removal keeps the failure) unless the check
+/// budget runs out first.
+///
+/// The case's service delta shrinks with the population: updates and
+/// removals referencing dropped objects are discarded.
+ShrinkResult shrink_case(FuzzCase failing, const DivergencePredicate& still_fails,
+                         const ShrinkOptions& options = {});
+
+}  // namespace scod::verify

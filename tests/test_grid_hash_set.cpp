@@ -7,6 +7,7 @@
 #include "parallel/thread_pool.hpp"
 #include "spatial/cell.hpp"
 #include "spatial/grid_hash_set.hpp"
+#include "spatial/murmur3.hpp"
 #include "util/rng.hpp"
 
 namespace scod {
@@ -144,6 +145,101 @@ TEST_P(GridHashSetConcurrency, ParallelInsertMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, GridHashSetConcurrency,
                          testing::Values(1, 2, 4, 8));
+
+TEST(GridHashSet, InsertToExactCapacityThenOverflow) {
+  // Fill the entry pool to the brim with distinct cells (slot_factor 1.0
+  // keeps the table as tight as the constructor allows), then overflow.
+  constexpr std::size_t kCap = 256;
+  GridHashSet set(kCap, /*slot_factor=*/1.0);
+  ASSERT_EQ(set.capacity(), kCap);
+  for (std::uint64_t k = 0; k < kCap; ++k) {
+    ASSERT_TRUE(set.insert(k * 0x9E3779B97F4A7C15ull, static_cast<std::uint32_t>(k), {}))
+        << "insert " << k << " of " << kCap;
+  }
+  EXPECT_EQ(set.size(), kCap);
+  for (std::uint64_t k = 0; k < kCap; ++k) {
+    ASSERT_NE(set.find(k * 0x9E3779B97F4A7C15ull), kNoEntry) << k;
+  }
+  // The pool is exhausted: a fresh cell fails, and so does an insert into
+  // an existing cell (its list would need a pool entry too). Neither may
+  // corrupt the stored entries.
+  EXPECT_FALSE(set.insert(0xDEADBEEFull, kCap, {}));
+  EXPECT_FALSE(set.insert(0, kCap, {}));
+  EXPECT_EQ(set.size(), kCap);
+  for (std::uint64_t k = 0; k < kCap; ++k) {
+    const std::uint32_t head = set.find(k * 0x9E3779B97F4A7C15ull);
+    ASSERT_NE(head, kNoEntry) << k;
+    EXPECT_EQ(set.entry(head).satellite, k);
+  }
+}
+
+/// Keys whose murmur-derived home slot is exactly `want`, for a table with
+/// `slots` power-of-two slots — lets the tests aim probe sequences at
+/// specific table regions.
+std::vector<std::uint64_t> keys_hashing_to_slot(std::size_t want, std::size_t slots,
+                                                std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; keys.size() < count; ++k) {
+    if ((murmur3_fmix64(k) & (slots - 1)) == want) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(GridHashSet, ProbeSequenceWrapsAroundTableEnd) {
+  // Aim every key at the LAST slot of the table; after the first insert
+  // claims it, each further probe sequence must wrap past the table end
+  // back to slot 0, 1, ... — the (slot + 1) & mask arithmetic under test.
+  GridHashSet set(8, /*slot_factor=*/1.0);
+  const std::size_t slots = set.slot_count();
+  const auto keys = keys_hashing_to_slot(slots - 1, slots, 8);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(set.insert(keys[i], static_cast<std::uint32_t>(i), {}));
+  }
+  // Inserted serially, the k-th key probes exactly k occupied slots before
+  // claiming (slots - 1 + k) & mask: sum = 0 + 1 + ... + 7.
+  EXPECT_EQ(set.probe_steps(), 28u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t head = set.find(keys[i]);
+    ASSERT_NE(head, kNoEntry) << "key " << keys[i];
+    EXPECT_EQ(set.entry(head).satellite, i);
+    EXPECT_EQ(set.entry(head).next, kNoEntry);  // distinct cells, no list
+  }
+  // An absent key homed at slot 0 probes across the wrapped cluster until
+  // the first empty slot and must come back empty-handed, not loop.
+  EXPECT_EQ(set.find(keys_hashing_to_slot(0, slots, 1)[0]), kNoEntry);
+}
+
+TEST(GridHashSet, ConcurrentInsertOfHashCollidingCells) {
+  // All keys home to the same slot, so every CAS slot claim and every
+  // wrapped probe step contends; half the inserts also share one cell key
+  // and race on the list push-front CAS instead.
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 4096;
+  GridHashSet set(kN, /*slot_factor=*/2.0);
+  const auto colliding = keys_hashing_to_slot(0, set.slot_count(), kN / 2);
+
+  pool.parallel_for(kN, [&](std::size_t i) {
+    // Even i: distinct colliding cell keys. Odd i: one shared hot cell.
+    const std::uint64_t key = (i % 2 == 0) ? colliding[i / 2] : colliding[0];
+    ASSERT_TRUE(set.insert(key, static_cast<std::uint32_t>(i), {}));
+  });
+  ASSERT_EQ(set.size(), kN);
+
+  std::set<std::uint32_t> hot_members;
+  for (std::uint32_t e = set.find(colliding[0]); e != kNoEntry;
+       e = set.entry(e).next) {
+    EXPECT_TRUE(hot_members.insert(set.entry(e).satellite).second);
+  }
+  // The hot cell holds all odd ids plus even id 0 (colliding[0] is its key).
+  EXPECT_EQ(hot_members.size(), kN / 2 + 1);
+  for (std::size_t i = 1; i < kN / 2; ++i) {
+    const std::uint32_t head = set.find(colliding[i]);
+    ASSERT_NE(head, kNoEntry) << i;
+    EXPECT_EQ(set.entry(head).satellite, 2 * i);
+    EXPECT_EQ(set.entry(head).next, kNoEntry);
+  }
+}
 
 TEST(GridHashSet, MoveTransfersContents) {
   GridHashSet a(8);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -90,6 +91,58 @@ TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
   std::atomic<int> count{0};
   pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, RunOnAllPropagatesWorkerException) {
+  // The throw happens on a pool worker, not the caller: the error must
+  // cross the fork-join barrier onto the caller without crashing the
+  // process or deadlocking the join.
+  ThreadPool pool(4);
+  const std::size_t caller_id = pool.thread_count() - 1;
+  try {
+    pool.run_on_all([&](std::size_t id) {
+      if (id != caller_id) throw std::runtime_error("worker " + std::to_string(id));
+    });
+    FAIL() << "expected the worker exception to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+  }
+  // The pool must survive: workers are parked again, not wedged.
+  std::atomic<int> count{0};
+  pool.run_on_all([&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), static_cast<int>(pool.thread_count()));
+}
+
+TEST(ThreadPool, ConcurrentThrowsSurfaceExactlyOne) {
+  // Every context throws simultaneously; exactly one exception (the first)
+  // must reach the caller, with no tasks lost in later loops.
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(
+        pool.run_on_all([&](std::size_t id) {
+          throw std::runtime_error("ctx " + std::to_string(id));
+        }),
+        std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallel_for(97, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 97) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, RangesLoopPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   1000,
+                   [&](std::size_t begin, std::size_t) {
+                     if (begin >= 500) throw std::logic_error("range");
+                   },
+                   /*grain=*/10),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_ranges(64, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 64);
 }
 
 TEST(ThreadPool, RunOnAllGivesDistinctIds) {

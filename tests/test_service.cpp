@@ -1,15 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/grid_screener.hpp"
 #include "population/catalog_io.hpp"
 #include "population/generator.hpp"
 #include "population/tle.hpp"
 #include "service/screening_service.hpp"
+#include "spatial/cell.hpp"
 #include "util/constants.hpp"
 #include "util/rng.hpp"
 
@@ -259,26 +260,6 @@ ServiceOptions dense_options() {
   return options;
 }
 
-/// From-scratch reference: a plain grid screen of the snapshot, mapped to
-/// id space the same way the service reports.
-std::vector<IdConjunction> reference_screen(const ServiceOptions& options,
-                                            const CatalogSnapshot& snap) {
-  const ScreeningReport dense =
-      GridScreener(options.pipeline).screen(snap.satellites, options.config);
-  std::vector<IdConjunction> out;
-  out.reserve(dense.conjunctions.size());
-  for (const Conjunction& c : dense.conjunctions) {
-    out.push_back({snap.satellites[c.sat_a].id, snap.satellites[c.sat_b].id,
-                   c.tca, c.pca});
-  }
-  std::sort(out.begin(), out.end(), [](const IdConjunction& x, const IdConjunction& y) {
-    if (x.id_a != y.id_a) return x.id_a < y.id_a;
-    if (x.id_b != y.id_b) return x.id_b < y.id_b;
-    return x.tca < y.tca;
-  });
-  return out;
-}
-
 void expect_equivalent(const std::vector<IdConjunction>& got,
                        const std::vector<IdConjunction>& want,
                        const char* context) {
@@ -366,9 +347,8 @@ TEST(ScreeningService, RemovalOnlyDeltaEvictsWithoutRescreening) {
   // No pipeline pass ran: phase timings stay zero.
   EXPECT_EQ(report.timings.insertion, 0.0);
 
-  const auto want = reference_screen(service.options(),
-                                     *service.store().snapshot());
-  expect_equivalent(report.conjunctions, want, "removal-only");
+  expect_equivalent(report.conjunctions, service.reference_conjunctions(),
+                    "removal-only");
 }
 
 /// The acceptance test: randomized delta sequences (adds, updates,
@@ -381,9 +361,7 @@ TEST(ScreeningService, IncrementalMatchesFromScratchOverRandomDeltas) {
 
   const ServiceReport baseline = service.screen();
   ASSERT_FALSE(baseline.conjunctions.empty());  // workload sanity
-  expect_equivalent(baseline.conjunctions,
-                    reference_screen(service.options(),
-                                     *service.store().snapshot()),
+  expect_equivalent(baseline.conjunctions, service.reference_conjunctions(),
                     "baseline");
 
   Rng rng(99);
@@ -423,12 +401,69 @@ TEST(ScreeningService, IncrementalMatchesFromScratchOverRandomDeltas) {
     EXPECT_TRUE(report.incremental) << "round " << round;
     EXPECT_GE(report.dirty, updates.size()) << "round " << round;
 
-    const auto want = reference_screen(service.options(),
-                                       *service.store().snapshot());
-    expect_equivalent(report.conjunctions, want,
+    expect_equivalent(report.conjunctions, service.reference_conjunctions(),
                       ("round " + std::to_string(round)).c_str());
   }
   EXPECT_EQ(service.stats().incremental_screens, 3u);
+}
+
+TEST(ScreeningService, DirtyObjectCrossingCellFaceAtSampleInstant) {
+  // Edge case of the dirty mask: a delta moves an object across a grid-cell
+  // boundary exactly at a sample instant. Its old-cell neighbours and its
+  // new-cell neighbours are different sets; the incremental re-screen must
+  // still pair it with the old ones (via the neighbour scan of the cells it
+  // left) and match the from-scratch reference exactly.
+  const ServiceOptions options = dense_options();
+  const double cell = grid_cell_size(options.config.threshold_km,
+                                     options.config.seconds_per_sample);
+  // A grid-cell face at LEO radius: x* = j * cell - half_extent. Computed
+  // from grid_cell_size so the test tracks Eq. (1) instead of a constant.
+  const double face =
+      std::ceil((kSimulationHalfExtent + 7000.0) / cell) * cell -
+      kSimulationHalfExtent;
+
+  // A sits 100 m inside the face on the +x axis at t = 0 — which is a
+  // sample instant (circular equatorial orbit, M0 = 0). B shadows it from
+  // just beyond the face: the pair straddles the boundary permanently.
+  Satellite a;
+  a.id = 900001;  // clear of the generated population's id range
+  a.elements.semi_major_axis = face - 0.1;
+  Satellite b;
+  b.id = 900002;
+  b.elements.semi_major_axis = face + 0.5;
+  b.elements.mean_anomaly = 2e-4;  // ~1.4 km along-track
+
+  ScreeningService service(options);
+  service.upsert(std::vector<Satellite>{a, b});
+  service.upsert(generate_population({300, 5}));  // uninvolved traffic
+
+  const ServiceReport baseline = service.screen();
+  const auto involves_pair = [](const std::vector<IdConjunction>& list) {
+    return std::any_of(list.begin(), list.end(), [](const IdConjunction& c) {
+      return c.id_a == 900001 && c.id_b == 900002;
+    });
+  };
+  ASSERT_TRUE(involves_pair(baseline.conjunctions));
+
+  // The maneuver: A jumps 200 m outward, crossing the face. At the t = 0
+  // sample it now quantizes into the neighbouring cell.
+  a.elements.semi_major_axis = face + 0.1;
+  service.upsert(a);
+  const ServiceReport report = service.screen(ScreenMode::kIncremental);
+  EXPECT_TRUE(report.incremental);
+  EXPECT_GE(report.dirty, 1u);
+
+  EXPECT_TRUE(involves_pair(report.conjunctions));
+  expect_equivalent(report.conjunctions, service.reference_conjunctions(),
+                    "cell-face crossing");
+
+  // And back across, for the opposite transition.
+  a.elements.semi_major_axis = face - 0.1;
+  service.upsert(a);
+  const ServiceReport back = service.screen(ScreenMode::kIncremental);
+  EXPECT_TRUE(involves_pair(back.conjunctions));
+  expect_equivalent(back.conjunctions, service.reference_conjunctions(),
+                    "cell-face return");
 }
 
 TEST(ScreeningService, StatsCountersTrackActivity) {
