@@ -28,6 +28,7 @@ struct Row {
   std::size_t conjunctions;
   std::size_t candidates;
   double sps_used;
+  std::string telemetry;  ///< snapshot JSON, cumulative over repeats, or empty
 };
 
 }  // namespace
@@ -59,9 +60,13 @@ int main(int argc, char** argv) {
 
     auto run = [&](const std::string& name, auto&& fn) {
       ScreeningReport report;
+      if (opt.telemetry) obs::reset();
       const double secs = median_seconds([&] { report = fn(); }, opt.repeats);
+      std::string telemetry;
+      if (opt.telemetry) telemetry = obs::snapshot().to_json();
       rows.push_back({n, name, secs, report.conjunctions.size(),
-                      report.stats.candidates, report.stats.seconds_per_sample});
+                      report.stats.candidates, report.stats.seconds_per_sample,
+                      std::move(telemetry)});
       std::printf("  n=%7zu %-16s %8.2f s  (%zu conjunctions)\n", n, name.c_str(),
                   secs, report.conjunctions.size());
       std::fflush(stdout);
@@ -138,7 +143,7 @@ int main(int argc, char** argv) {
     JsonBenchWriter json(opt.json);
     for (const Row& row : rows) {
       json.record("fig10_runtime", row.n, row.variant, row.seconds,
-                  row.conjunctions);
+                  row.conjunctions, row.telemetry);
     }
     std::printf("JSON records written to %s\n", opt.json.c_str());
   }

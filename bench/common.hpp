@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/screen.hpp"
+#include "obs/telemetry.hpp"
 #include "population/generator.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -40,19 +41,20 @@ struct HarnessOptions {
   std::string csv;                   ///< optional machine-readable output path
   std::string json;                  ///< optional JSON records output path
   bool device = true;                ///< also run the devicesim backend
+  bool telemetry = false;            ///< collect src/obs counters per cell
 };
 
 inline HarnessOptions parse_harness_options(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
                      {"sizes", "legacy-max", "span", "threshold", "sps-grid",
                       "sps-hybrid", "repeats", "seed", "csv", "json", "device",
-                      "threads"});
+                      "threads", "telemetry"});
   if (!args.unknown().empty()) {
     std::fprintf(stderr, "unknown option: %s\n", args.unknown().front().c_str());
     std::fprintf(stderr,
                  "known: --sizes a,b,c --legacy-max N --span S --threshold D "
                  "--sps-grid S --sps-hybrid S --repeats R --seed S --csv PATH "
-                 "--json PATH --device 0|1\n");
+                 "--json PATH --device 0|1 --telemetry 0|1\n");
     std::exit(2);
   }
   HarnessOptions opt;
@@ -67,6 +69,13 @@ inline HarnessOptions parse_harness_options(int argc, const char* const* argv) {
   opt.csv = args.get_string("csv", "");
   opt.json = args.get_string("json", "");
   opt.device = args.get_bool("device", opt.device);
+  opt.telemetry = args.get_bool("telemetry", false);
+  if (opt.telemetry && !obs::compiled()) {
+    std::fprintf(stderr,
+                 "--telemetry requested but this build has SCOD_TELEMETRY=OFF\n");
+    std::exit(2);
+  }
+  if (opt.telemetry) obs::set_enabled(true);
   return opt;
 }
 
@@ -97,13 +106,16 @@ class JsonBenchWriter {
 
   void record(const std::string& workload, std::uint64_t n,
               const std::string& variant, double seconds,
-              std::uint64_t conjunctions) {
+              std::uint64_t conjunctions,
+              const std::string& telemetry_json = "") {
     if (!out_.is_open()) return;
     if (!first_) out_ << ",\n";
     first_ = false;
     out_ << "  {\"workload\": \"" << workload << "\", \"n\": " << n
          << ", \"variant\": \"" << variant << "\", \"seconds\": " << seconds
-         << ", \"conjunctions\": " << conjunctions << "}";
+         << ", \"conjunctions\": " << conjunctions;
+    if (!telemetry_json.empty()) out_ << ", \"telemetry\": " << telemetry_json;
+    out_ << "}";
     out_.flush();
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/exec.hpp"
+#include "obs/telemetry.hpp"
 #include "orbit/geometry.hpp"
 #include "propagation/two_body.hpp"
 #include "spatial/cell.hpp"
@@ -200,13 +201,24 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
       throw std::logic_error("run_grid_pipeline: grid hash set overflow "
                              "(invariant violation: one entry per satellite)");
     }
-    result.insertion_seconds += ins_watch.seconds();
+    const double ins_seconds = ins_watch.seconds();
+    result.insertion_seconds += ins_seconds;
+    obs::count(obs::Counter::kSamplesPropagated, steps * n);
+    obs::add_seconds(obs::Counter::kTimeInsertionNs, ins_seconds);
 
     // Step 2b (CD): one logical thread per (sample, slot). Retried with a
     // grown candidate set if the Extra-P sizing underestimated.
     Stopwatch cd_watch;
+    const std::size_t candidates_before = candidates.size();
     for (;;) {
       std::atomic<bool> overflow{false};
+      // Funnel tallies for this attempt. Declared inside the retry loop so
+      // an overflowed attempt is discarded wholesale: only the successful
+      // scan is committed to telemetry below, which keeps the conservation
+      // invariant (tested == masked + prefiltered + emitted + deduped)
+      // exact even when the candidate set has to grow mid-round.
+      std::atomic<std::uint64_t> cd_occupied{0}, cd_tested{0}, cd_masked{0},
+          cd_prefiltered{0}, cd_emitted{0}, cd_duplicates{0};
       execute(config, steps * slots, [&](std::size_t idx) {
         const std::size_t local = idx / slots;
         const std::size_t slot = idx % slots;
@@ -219,6 +231,8 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
         const double half_sps = 0.5 * result.sample_period;
         const CellCoord coord = indexer.unpack(key);
         const std::uint32_t head = grid.slot_head(slot);
+        std::uint64_t tested = 0, masked = 0, prefiltered = 0, emitted = 0,
+                      duplicates = 0;
 
         for (const CellCoord& off : offsets) {
           const bool self = (off.x == 0 && off.y == 0 && off.z == 0);
@@ -237,35 +251,82 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
                  eb = grid.entry(eb).next) {
               const GridEntry& b = grid.entry(eb);
               if (a.satellite == b.satellite) continue;
+              ++tested;
               // Incremental hook: a pair with no dirty member carries its
               // baseline conjunctions forward, so it never becomes a
               // candidate here (see GridPipelineOptions::dirty_mask).
-              if (!a_dirty && dirty[b.satellite] == 0) continue;
+              if (!a_dirty && dirty[b.satellite] == 0) {
+                ++masked;
+                continue;
+              }
               if (options.distance_prefilter) {
                 // A pair farther apart than d + (v_max_a + v_max_b) * s/2
                 // cannot reach the threshold closer than half a sample from
                 // this step; the step nearest its minimum keeps it.
                 const double cutoff = prefilter_base +
                     half_sps * (vmax[a.satellite] + vmax[b.satellite]);
-                if ((a.position - b.position).norm2() > cutoff * cutoff) continue;
+                if ((a.position - b.position).norm2() > cutoff * cutoff) {
+                  ++prefiltered;
+                  continue;
+                }
               }
-              if (candidates.insert(a.satellite, b.satellite, step) ==
-                  CandidateSet::Insert::kFull) {
-                overflow.store(true, std::memory_order_relaxed);
+              switch (candidates.insert(a.satellite, b.satellite, step)) {
+                case CandidateSet::Insert::kInserted:
+                  ++emitted;
+                  break;
+                case CandidateSet::Insert::kDuplicate:
+                  ++duplicates;
+                  break;
+                case CandidateSet::Insert::kFull:
+                  overflow.store(true, std::memory_order_relaxed);
+                  break;
               }
             }
           }
         }
+        if (obs::enabled()) {
+          cd_occupied.fetch_add(1, std::memory_order_relaxed);
+          cd_tested.fetch_add(tested, std::memory_order_relaxed);
+          cd_masked.fetch_add(masked, std::memory_order_relaxed);
+          cd_prefiltered.fetch_add(prefiltered, std::memory_order_relaxed);
+          cd_emitted.fetch_add(emitted, std::memory_order_relaxed);
+          cd_duplicates.fetch_add(duplicates, std::memory_order_relaxed);
+        }
       });
-      if (!overflow.load()) break;
+      if (!overflow.load()) {
+        if (obs::enabled()) {
+          obs::count(obs::Counter::kCellsScanned, steps * slots);
+          obs::count(obs::Counter::kCellsOccupied, cd_occupied.load());
+          obs::count(obs::Counter::kPairsTested, cd_tested.load());
+          obs::count(obs::Counter::kPairsMaskedClean, cd_masked.load());
+          obs::count(obs::Counter::kPairsPrefiltered, cd_prefiltered.load());
+          // A pair first inserted during an overflowed attempt survives the
+          // grow (CandidateSet::grow rehashes in place), so the successful
+          // re-scan classifies it as a duplicate. Report distinct inserts
+          // from the set's own size delta and shift the remainder into the
+          // dedup bucket: the per-attempt identity tested == masked +
+          // prefiltered + emitted' + duplicates' is preserved exactly.
+          const std::uint64_t distinct = candidates.size() - candidates_before;
+          const std::uint64_t classified = cd_duplicates.load() + cd_emitted.load();
+          obs::count(obs::Counter::kCandidatesEmitted, distinct);
+          // classified < distinct only if telemetry was flipped on mid-scan;
+          // saturate instead of wrapping in that degenerate case.
+          obs::count(obs::Counter::kCandidatesDeduplicated,
+                     classified > distinct ? classified - distinct : 0);
+        }
+        break;
+      }
       candidates.grow();
       ++result.candidate_set_growths;
+      obs::count(obs::Counter::kCandidateSetGrowths);
       if (device != nullptr) {
         dev_cands.reset();  // release before re-accounting the doubled map
         dev_cands = device->alloc<std::byte>(candidates.memory_bytes());
       }
     }
-    result.detection_seconds += cd_watch.seconds();
+    const double cd_seconds = cd_watch.seconds();
+    result.detection_seconds += cd_seconds;
+    obs::add_seconds(obs::Counter::kTimeDetectionNs, cd_seconds);
 
     // Streaming mode: hand this round's candidates over and recycle the
     // set. A (pair, step) key can only be produced by the round owning

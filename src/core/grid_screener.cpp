@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/exec.hpp"
+#include "obs/telemetry.hpp"
 #include "pca/pair_evaluator.hpp"
 #include "pca/refine.hpp"
 #include "propagation/contour_solver.hpp"
@@ -62,6 +63,7 @@ std::vector<Conjunction> refine_candidates(const Propagator& propagator,
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (valid[i]) raw.push_back(slots[i]);
   }
+  obs::count(obs::Counter::kConjunctionsRaw, raw.size());
   return raw;
 }
 
@@ -122,6 +124,8 @@ ScreeningReport GridScreener::screen(const Propagator& propagator,
                                            pipeline.candidates),
                          config.effective_merge_tolerance());
   report.timings.refinement = refine_watch.seconds();
+  obs::add_seconds(obs::Counter::kTimeRefinementNs, report.timings.refinement);
+  obs::count(obs::Counter::kConjunctionsReported, report.conjunctions.size());
   fill_stats(report, propagator, pipeline);
   return report;
 }
@@ -159,7 +163,10 @@ ScreeningReport GridScreener::screen_streaming(const Propagator& propagator,
         last_emitted[key] = c.tca;
       }
     }
-    refine_seconds += watch.seconds();
+    const double round_seconds = watch.seconds();
+    refine_seconds += round_seconds;
+    obs::add_seconds(obs::Counter::kTimeRefinementNs, round_seconds);
+    obs::count(obs::Counter::kConjunctionsReported, fresh.size());
     sink(round, fresh);
   };
 

@@ -7,6 +7,7 @@
 
 #include "core/exec.hpp"
 #include "filters/apogee_perigee.hpp"
+#include "obs/telemetry.hpp"
 #include "filters/coplanarity.hpp"
 #include "filters/orbit_path.hpp"
 #include "filters/time_windows.hpp"
@@ -156,9 +157,12 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
   // once per (pair, window) that is reachable from a candidate sample;
   // coplanar pairs get one grid-style task per candidate step.
   std::vector<RefineTask> tasks;
+  std::size_t coplanar_survivors = 0, window_survivors = 0;
   for (std::size_t pi = 0; pi < pair_ranges.size(); ++pi) {
     const PairVerdict& v = verdicts[pi];
     if (v.cls != PairClass::kCoplanar && v.cls != PairClass::kWindows) continue;
+    if (v.cls == PairClass::kCoplanar) ++coplanar_survivors;
+    else ++window_survivors;
     const auto [begin, end] = pair_ranges[pi];
     const std::uint32_t sat_a = candidates[begin].sat_a;
     const std::uint32_t sat_b = candidates[begin].sat_b;
@@ -246,9 +250,31 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     if (valid[i]) raw.push_back(slots[i]);
   }
+  obs::count(obs::Counter::kConjunctionsRaw, raw.size());
   report.conjunctions =
       merge_conjunctions(std::move(raw), config.effective_merge_tolerance());
   report.timings.refinement = refine_watch.seconds();
+
+  if (obs::enabled()) {
+    // Filter-chain funnel: every distinct pair lands in exactly one of
+    // {ap-reject, path-reject, window-reject, survivor}, so the telemetry
+    // buckets partition filter_pairs_in. Path checks run on all ap-pass
+    // pairs; only non-coplanar node-pass pairs reach the window filter.
+    obs::count(obs::Counter::kFilterPairsIn, pair_ranges.size());
+    obs::count(obs::Counter::kFilterApogeePerigeeRejects, rejected_ap.load());
+    obs::count(obs::Counter::kFilterPathChecks,
+               pair_ranges.size() - rejected_ap.load());
+    obs::count(obs::Counter::kFilterPathRejects, rejected_path.load());
+    obs::count(obs::Counter::kFilterCoplanarPairs, coplanar_count.load());
+    obs::count(obs::Counter::kFilterWindowChecks,
+               rejected_windows.load() + window_survivors);
+    obs::count(obs::Counter::kFilterWindowRejects, rejected_windows.load());
+    obs::count(obs::Counter::kFilterSurvivors,
+               coplanar_survivors + window_survivors);
+    obs::add_seconds(obs::Counter::kTimeFilteringNs, report.timings.filtering);
+    obs::add_seconds(obs::Counter::kTimeRefinementNs, report.timings.refinement);
+    obs::count(obs::Counter::kConjunctionsReported, report.conjunctions.size());
+  }
 
   report.stats.satellites = propagator.size();
   report.stats.total_samples = pipeline.plan.total_samples;

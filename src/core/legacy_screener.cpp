@@ -8,6 +8,7 @@
 #include "filters/dense_scan.hpp"
 #include "filters/orbit_path.hpp"
 #include "filters/time_windows.hpp"
+#include "obs/telemetry.hpp"
 #include "pca/refine.hpp"
 #include "propagation/contour_solver.hpp"
 #include "propagation/two_body.hpp"
@@ -47,7 +48,7 @@ ScreeningReport LegacyScreener::screen(const Propagator& propagator,
   scan_options.refine = config.refine;
 
   std::size_t pairs = 0, rejected_ap = 0, rejected_path = 0, rejected_windows = 0,
-              coplanar_count = 0, refinements = 0;
+              coplanar_count = 0, refinements = 0, window_pass = 0, survivors = 0;
 
   Stopwatch section;
   for (std::size_t i = 0; i + 1 < n; ++i) {
@@ -70,6 +71,7 @@ ScreeningReport LegacyScreener::screen(const Propagator& propagator,
           ++rejected_path;
           continue;
         }
+        ++survivors;
         filter_seconds += section.seconds();
         section.restart();
         // Coplanar survivor: exhaustive sampled encounter search.
@@ -99,6 +101,8 @@ ScreeningReport LegacyScreener::screen(const Propagator& propagator,
         ++rejected_windows;
         continue;
       }
+      ++window_pass;
+      ++survivors;
 
       filter_seconds += section.seconds();
       section.restart();
@@ -119,8 +123,23 @@ ScreeningReport LegacyScreener::screen(const Propagator& propagator,
   }
   filter_seconds += section.seconds();
 
+  if (obs::enabled()) {
+    obs::count(obs::Counter::kFilterPairsIn, pairs);
+    obs::count(obs::Counter::kFilterApogeePerigeeRejects, rejected_ap);
+    obs::count(obs::Counter::kFilterPathChecks, pairs - rejected_ap);
+    obs::count(obs::Counter::kFilterPathRejects, rejected_path);
+    obs::count(obs::Counter::kFilterCoplanarPairs, coplanar_count);
+    obs::count(obs::Counter::kFilterWindowChecks, rejected_windows + window_pass);
+    obs::count(obs::Counter::kFilterWindowRejects, rejected_windows);
+    obs::count(obs::Counter::kFilterSurvivors, survivors);
+    obs::count(obs::Counter::kConjunctionsRaw, raw.size());
+    obs::add_seconds(obs::Counter::kTimeFilteringNs, filter_seconds);
+    obs::add_seconds(obs::Counter::kTimeRefinementNs, refine_seconds);
+  }
+
   report.conjunctions =
       merge_conjunctions(std::move(raw), config.effective_merge_tolerance());
+  obs::count(obs::Counter::kConjunctionsReported, report.conjunctions.size());
   report.timings.filtering = filter_seconds;
   report.timings.refinement = refine_seconds;
 

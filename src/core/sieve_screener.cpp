@@ -8,6 +8,7 @@
 
 #include "core/exec.hpp"
 #include "filters/apogee_perigee.hpp"
+#include "obs/telemetry.hpp"
 #include "orbit/geometry.hpp"
 #include "pca/pair_evaluator.hpp"
 #include "pca/refine.hpp"
@@ -121,6 +122,7 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
                merge_encounters(std::move(encounters),
                                 config.effective_merge_tolerance())) {
             local.push_back({a, b, e.tca, e.pca});
+            obs::count(obs::Counter::kConjunctionsRaw);
           }
         }
 
@@ -134,6 +136,19 @@ ScreeningReport SieveScreener::screen(const Propagator& propagator,
   report.conjunctions =
       merge_conjunctions(std::move(all), config.effective_merge_tolerance());
   report.timings.filtering = sieve_watch.seconds();
+
+  if (obs::enabled()) {
+    // The sieve's filter funnel is two-stage: the apogee/perigee test, then
+    // the skipping distance scan — survivors are every pair the scan had to
+    // examine (in == ap_rejects + survivors).
+    obs::count(obs::Counter::kFilterPairsIn, pairs.size());
+    obs::count(obs::Counter::kFilterApogeePerigeeRejects, rejected_ap.load());
+    obs::count(obs::Counter::kFilterSurvivors,
+               pairs.size() - rejected_ap.load());
+    obs::count(obs::Counter::kSieveDistanceEvals, distance_evals.load());
+    obs::count(obs::Counter::kConjunctionsReported, report.conjunctions.size());
+    obs::add_seconds(obs::Counter::kTimeFilteringNs, report.timings.filtering);
+  }
 
   report.stats.satellites = n;
   report.stats.pairs_examined = pairs.size();

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
 #include "pca/brent.hpp"
 
 namespace scod {
+
+namespace {
+
+// Keeps the dense scan's minimizations in the same telemetry bucket as the
+// interval refiners, so "refinements >= raw conjunctions" holds for every
+// screener including the legacy coplanar path.
+template <typename DistanceFn>
+MinimizeResult counted_minimize(const DistanceFn& distance, double lo, double hi,
+                                const RefineOptions& refine) {
+  const MinimizeResult m =
+      brent_minimize(distance, lo, hi, refine.time_tolerance, refine.max_iterations);
+  obs::count(obs::Counter::kRefinements);
+  obs::count(obs::Counter::kBrentIterations,
+             static_cast<std::uint64_t>(m.iterations));
+  return m;
+}
+
+}  // namespace
 
 std::vector<Encounter> scan_encounters(const Propagator& propagator,
                                        std::uint32_t sat_a, std::uint32_t sat_b,
@@ -27,9 +46,8 @@ std::vector<Encounter> scan_encounters(const Propagator& propagator,
   // Leading edge: if the signal rises from the very first sample, the span
   // start is a running minimum.
   if (d_prev <= d_curr && d_prev < options.refine_below) {
-    const MinimizeResult m = brent_minimize(distance, t_begin, t_begin + step,
-                                            options.refine.time_tolerance,
-                                            options.refine.max_iterations);
+    const MinimizeResult m =
+        counted_minimize(distance, t_begin, t_begin + step, options.refine);
     encounters.push_back({m.x, m.value});
   }
 
@@ -40,17 +58,15 @@ std::vector<Encounter> scan_encounters(const Propagator& propagator,
     d_curr = distance(t_curr);
     if (d_prev <= d_prev2 && d_prev <= d_curr && d_prev < options.refine_below) {
       const MinimizeResult m =
-          brent_minimize(distance, t_curr - 2.0 * step, t_curr,
-                         options.refine.time_tolerance, options.refine.max_iterations);
+          counted_minimize(distance, t_curr - 2.0 * step, t_curr, options.refine);
       encounters.push_back({m.x, m.value});
     }
   }
 
   // Trailing edge: signal still falling at the end of the span.
   if (samples > 1 && d_curr < d_prev && d_curr < options.refine_below) {
-    const MinimizeResult m = brent_minimize(distance, t_end - step, t_end,
-                                            options.refine.time_tolerance,
-                                            options.refine.max_iterations);
+    const MinimizeResult m =
+        counted_minimize(distance, t_end - step, t_end, options.refine);
     encounters.push_back({m.x, m.value});
   }
 

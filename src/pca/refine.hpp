@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "pca/brent.hpp"
 #include "propagation/propagator.hpp"
 
@@ -45,6 +46,9 @@ std::optional<Encounter> refine_on_interval_fn(DistanceFn&& distance, double t_l
 
   const MinimizeResult min =
       brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
+  obs::count(obs::Counter::kRefinements);
+  obs::count(obs::Counter::kBrentIterations,
+             static_cast<std::uint64_t>(min.iterations));
 
   // Boundary handling (Section IV-C): when the search stops at an interval
   // edge, probe slightly beyond it. If the distance keeps falling, the
@@ -57,9 +61,15 @@ std::optional<Encounter> refine_on_interval_fn(DistanceFn&& distance, double t_l
   const double edge_tol = 2.0 * options.time_tolerance;
 
   if (min.x - t_lo <= edge_tol) {
-    if (distance(t_lo - probe) < min.value) return std::nullopt;
+    if (distance(t_lo - probe) < min.value) {
+      obs::count(obs::Counter::kEdgeDiscards);
+      return std::nullopt;
+    }
   } else if (t_hi - min.x <= edge_tol) {
-    if (distance(t_hi + probe) < min.value) return std::nullopt;
+    if (distance(t_hi + probe) < min.value) {
+      obs::count(obs::Counter::kEdgeDiscards);
+      return std::nullopt;
+    }
   }
 
   return Encounter{min.x, min.value};
@@ -74,9 +84,15 @@ std::optional<Encounter> refine_candidate_fn(DistanceFn&& distance, double cente
   const double t_lo = std::max(center - radius, t_min);
   const double t_hi = std::min(center + radius, t_max);
   if (!(t_lo < t_hi)) return std::nullopt;
+  if (center - radius < t_min || center + radius > t_max) {
+    obs::count(obs::Counter::kWindowClamps);
+  }
 
   const MinimizeResult min =
       brent_minimize(distance, t_lo, t_hi, options.time_tolerance, options.max_iterations);
+  obs::count(obs::Counter::kRefinements);
+  obs::count(obs::Counter::kBrentIterations,
+             static_cast<std::uint64_t>(min.iterations));
 
   const double probe =
       std::max(options.edge_probe_fraction * radius, 4.0 * options.time_tolerance);
@@ -85,9 +101,15 @@ std::optional<Encounter> refine_candidate_fn(DistanceFn&& distance, double cente
   // At the simulation-span boundary the minimum cannot be discarded — there
   // is no neighbouring interval beyond the span; report the clamped value.
   if (min.x - t_lo <= edge_tol && t_lo > t_min) {
-    if (distance(std::max(t_lo - probe, t_min)) < min.value) return std::nullopt;
+    if (distance(std::max(t_lo - probe, t_min)) < min.value) {
+      obs::count(obs::Counter::kEdgeDiscards);
+      return std::nullopt;
+    }
   } else if (t_hi - min.x <= edge_tol && t_hi < t_max) {
-    if (distance(std::min(t_hi + probe, t_max)) < min.value) return std::nullopt;
+    if (distance(std::min(t_hi + probe, t_max)) < min.value) {
+      obs::count(obs::Counter::kEdgeDiscards);
+      return std::nullopt;
+    }
   }
 
   return Encounter{min.x, min.value};

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/grid_screener.hpp"
+#include "obs/telemetry.hpp"
 #include "util/stopwatch.hpp"
 
 namespace scod {
@@ -211,6 +212,23 @@ ServiceReport ScreeningService::screen(ScreenMode mode) {
   }
 
   report.total_seconds = total_watch.seconds();
+  if (obs::enabled()) {
+    // Merge-path taken this call: exactly one of the three screen counters
+    // ticks, so their sum equals the number of screen() calls observed.
+    if (!report.incremental) {
+      obs::count(obs::Counter::kServiceFullScreens);
+    } else if (report.dirty == 0 && report.removed == 0) {
+      obs::count(obs::Counter::kServiceCachedScreens);
+    } else {
+      obs::count(obs::Counter::kServiceIncrementalScreens);
+    }
+    obs::count(obs::Counter::kServiceSnapshotObjects, report.catalog_size);
+    obs::count(obs::Counter::kServiceDirtyObjects, report.dirty);
+    obs::count(obs::Counter::kServiceRemovedObjects, report.removed);
+    obs::count(obs::Counter::kServiceCarried, report.carried);
+    obs::count(obs::Counter::kServiceEvicted, report.evicted);
+    obs::count(obs::Counter::kServiceRefreshed, report.refreshed);
+  }
   stats_.last_epoch_screened = report.epoch;
   stats_.last_dirty = report.dirty;
   stats_.last_removed = report.removed;

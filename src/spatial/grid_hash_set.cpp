@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "spatial/murmur3.hpp"
 
 namespace scod {
@@ -46,6 +47,7 @@ bool GridHashSet::insert(std::uint64_t cell_key, std::uint32_t satellite,
                          const Vec3& position) {
   std::uint64_t slot = murmur3_fmix64(cell_key) & slot_mask_;
   std::uint64_t probes = 0;
+  std::uint64_t cas_retries = 0;
 
   for (; probes <= slot_mask_; ++probes) {
     std::uint64_t current = slots_[slot].key.load(std::memory_order_acquire);
@@ -57,19 +59,25 @@ bool GridHashSet::insert(std::uint64_t cell_key, std::uint32_t satellite,
                                                    std::memory_order_acq_rel,
                                                    std::memory_order_acquire)) {
         current = cell_key;
+      } else {
+        ++cas_retries;
       }
     }
     if (current == cell_key) break;
     slot = (slot + 1) & slot_mask_;  // linear probing, Eq. (2)
   }
   probe_steps_.fetch_add(probes, std::memory_order_relaxed);
-  if (probes > slot_mask_) return false;  // slot table full
+  if (probes > slot_mask_) {
+    obs::count(obs::Counter::kGridPoolRejects);
+    return false;  // slot table full
+  }
 
   const std::uint32_t index = entry_count_.fetch_add(1, std::memory_order_acq_rel);
   if (index >= entries_.size()) {
     // Give the ticket back so size() stays the number of stored entries
     // even after rejected inserts.
     entry_count_.fetch_sub(1, std::memory_order_acq_rel);
+    obs::count(obs::Counter::kGridPoolRejects);
     return false;  // entry pool exhausted
   }
 
@@ -80,10 +88,13 @@ bool GridHashSet::insert(std::uint64_t cell_key, std::uint32_t satellite,
   // Push-front onto the cell's singly-linked list. The release order on
   // the successful CAS publishes the entry fields to post-barrier readers.
   std::uint32_t old_head = slots_[slot].head.load(std::memory_order_relaxed);
+  std::uint32_t first_seen = old_head;
   do {
     e.next = old_head;
   } while (!slots_[slot].head.compare_exchange_weak(
       old_head, index, std::memory_order_release, std::memory_order_relaxed));
+  if (old_head != first_seen) ++cas_retries;
+  obs::count_grid_insert(probes, cas_retries);
   return true;
 }
 

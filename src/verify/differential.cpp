@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <unordered_map>
 
+#include "obs/telemetry.hpp"
 #include "service/screening_service.hpp"
 
 namespace scod::verify {
@@ -153,6 +155,92 @@ void diff_service(const FuzzCase& fuzz_case, std::vector<Divergence>& out) {
   }
 }
 
+/// Validates the telemetry funnel of one variant screen against the
+/// invariants the counters are designed around. `snap` must cover exactly
+/// this screen (reset before, snapshot after).
+void check_counter_invariants(const std::string& name, Variant variant,
+                              const ScreeningReport& report,
+                              const obs::TelemetrySnapshot& snap,
+                              std::vector<Divergence>& out) {
+  using C = obs::Counter;
+  const auto v = [&](C c) { return snap.value(c); };
+  const auto expect = [&](bool ok, const char* what, std::uint64_t lhs,
+                          std::uint64_t rhs) {
+    if (ok) return;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "counter invariant '%s' violated: %llu vs %llu",
+                  what, static_cast<unsigned long long>(lhs),
+                  static_cast<unsigned long long>(rhs));
+    out.push_back({name, Divergence::Kind::kCounterViolation, Conjunction{}, buf});
+  };
+
+  // Refinement monotonicity holds for every variant: each raw conjunction
+  // came out of one minimization, and merging only removes events.
+  const std::uint64_t raw = v(C::kConjunctionsRaw);
+  const std::uint64_t reported = v(C::kConjunctionsReported);
+  expect(reported == report.conjunctions.size(), "reported == |conjunctions|",
+         reported, report.conjunctions.size());
+  expect(raw >= reported, "raw >= reported", raw, reported);
+  expect(v(C::kRefinements) >= raw, "refinements >= raw", v(C::kRefinements), raw);
+
+  if (variant == Variant::kGrid || variant == Variant::kHybrid) {
+    // Detection funnel conservation: every tested pair lands in exactly one
+    // bucket (clean-masked, prefiltered, emitted, deduplicated).
+    const std::uint64_t classified =
+        v(C::kPairsMaskedClean) + v(C::kPairsPrefiltered) +
+        v(C::kCandidatesEmitted) + v(C::kCandidatesDeduplicated);
+    expect(v(C::kPairsTested) == classified, "pairs_tested conservation",
+           v(C::kPairsTested), classified);
+    expect(v(C::kCandidatesEmitted) == report.stats.candidates,
+           "emitted == stats.candidates", v(C::kCandidatesEmitted),
+           report.stats.candidates);
+    expect(v(C::kCellsOccupied) <= v(C::kCellsScanned),
+           "occupied <= scanned", v(C::kCellsOccupied), v(C::kCellsScanned));
+    const std::uint64_t samples = static_cast<std::uint64_t>(
+        report.stats.total_samples * report.stats.satellites);
+    expect(v(C::kSamplesPropagated) == samples,
+           "samples_propagated == total_samples * n", v(C::kSamplesPropagated),
+           samples);
+    expect(v(C::kGridInserts) == v(C::kSamplesPropagated),
+           "grid_inserts == samples_propagated", v(C::kGridInserts),
+           v(C::kSamplesPropagated));
+    const std::uint64_t hist_total =
+        std::accumulate(snap.probe_histogram.begin(), snap.probe_histogram.end(),
+                        std::uint64_t{0});
+    expect(hist_total == v(C::kGridInserts), "probe histogram sums to inserts",
+           hist_total, v(C::kGridInserts));
+  }
+
+  if (variant == Variant::kHybrid || variant == Variant::kLegacy) {
+    // Filter-chain conservation and monotonicity.
+    const std::uint64_t buckets =
+        v(C::kFilterApogeePerigeeRejects) + v(C::kFilterPathRejects) +
+        v(C::kFilterWindowRejects) + v(C::kFilterSurvivors);
+    expect(v(C::kFilterPairsIn) == buckets, "filter_pairs_in conservation",
+           v(C::kFilterPairsIn), buckets);
+    expect(v(C::kFilterPathChecks) ==
+               v(C::kFilterPairsIn) - v(C::kFilterApogeePerigeeRejects),
+           "path_checks == in - ap_rejects", v(C::kFilterPathChecks),
+           v(C::kFilterPairsIn) - v(C::kFilterApogeePerigeeRejects));
+    expect(v(C::kFilterWindowChecks) <= v(C::kFilterPathChecks),
+           "window_checks <= path_checks", v(C::kFilterWindowChecks),
+           v(C::kFilterPathChecks));
+    expect(v(C::kFilterWindowRejects) <= v(C::kFilterWindowChecks),
+           "window_rejects <= window_checks", v(C::kFilterWindowRejects),
+           v(C::kFilterWindowChecks));
+  }
+
+  if (variant == Variant::kSieve) {
+    const std::uint64_t buckets =
+        v(C::kFilterApogeePerigeeRejects) + v(C::kFilterSurvivors);
+    expect(v(C::kFilterPairsIn) == buckets, "sieve filter conservation",
+           v(C::kFilterPairsIn), buckets);
+    expect(v(C::kRefinements) == report.stats.refinements,
+           "sieve refinements == stats.refinements", v(C::kRefinements),
+           report.stats.refinements);
+  }
+}
+
 }  // namespace
 
 const char* divergence_kind_name(Divergence::Kind kind) {
@@ -161,6 +249,7 @@ const char* divergence_kind_name(Divergence::Kind kind) {
     case Divergence::Kind::kSpurious: return "spurious";
     case Divergence::Kind::kPcaMismatch: return "pca-mismatch";
     case Divergence::Kind::kServiceMismatch: return "service-mismatch";
+    case Divergence::Kind::kCounterViolation: return "counter-violation";
   }
   return "unknown";
 }
@@ -220,9 +309,20 @@ CaseResult run_differential(const FuzzCase& fuzz_case,
     }
   }
 
+  const bool counters = options.check_counters && obs::compiled();
+  const bool was_enabled = obs::enabled();
   for (const Variant variant : options.variants) {
+    if (counters) {
+      obs::reset();
+      obs::set_enabled(true);
+    }
     const ScreeningReport report =
         screen(fuzz_case.satellites, fuzz_case.config, variant);
+    if (counters) {
+      obs::set_enabled(was_enabled);
+      check_counter_invariants(variant_name(variant), variant, report,
+                               obs::snapshot(), result.divergences);
+    }
     diff_against_oracle(variant_name(variant), report.conjunctions, oracle,
                         threshold, tol, result.divergences);
   }

@@ -31,10 +31,11 @@ struct DiffTolerances {
 struct Divergence {
   std::string screener;  ///< "grid", "hybrid", "legacy", "sieve", "service"
   enum class Kind : std::uint8_t {
-    kMissed,          ///< oracle event below the band, screener silent
-    kSpurious,        ///< screener event with no oracle counterpart
-    kPcaMismatch,     ///< matched event, PCA disagreement beyond tolerance
-    kServiceMismatch, ///< incremental report != from-scratch reference
+    kMissed,            ///< oracle event below the band, screener silent
+    kSpurious,          ///< screener event with no oracle counterpart
+    kPcaMismatch,       ///< matched event, PCA disagreement beyond tolerance
+    kServiceMismatch,   ///< incremental report != from-scratch reference
+    kCounterViolation,  ///< telemetry funnel invariant broken (src/obs)
   } kind = Kind::kMissed;
   /// The event at issue (oracle's for kMissed, screener's otherwise), in
   /// dense-index space; for kServiceMismatch the indices are catalog ids.
@@ -78,6 +79,10 @@ struct DifferentialOptions {
   /// Also run the case's randomized delta through the incremental service
   /// and require exact agreement with the from-scratch reference.
   bool check_service = true;
+  /// Validate the src/obs telemetry funnel invariants (counter
+  /// conservation, filter monotonicity) around every variant screen.
+  /// Silently skipped in builds with SCOD_TELEMETRY=OFF.
+  bool check_counters = true;
 };
 
 /// Screens `fuzz_case` through every configured variant and the incremental

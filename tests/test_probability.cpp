@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "assessment/probability.hpp"
+
+namespace scod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bessel I0: series / asymptotic agreement and known values
+
+TEST(BesselI0, KnownValuesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(bessel_i0(0.0), 1.0);
+  // Abramowitz & Stegun 9.8: I0(1) = 1.2660658..., I0(2) = 2.2795853...
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(bessel_i0(2.0), 2.2795853023360673, 1e-12);
+  EXPECT_DOUBLE_EQ(bessel_i0(-3.0), bessel_i0(3.0));
+}
+
+TEST(BesselI0, SeriesMatchesAsymptoticAtTheSwitch) {
+  // The implementation switches regimes at x = 15; both expansions must
+  // agree there to well under the advertised 1e-8 relative error.
+  const double below = bessel_i0(14.999999);
+  const double above = bessel_i0(15.000001);
+  EXPECT_NEAR(below / above, 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Isotropic Pc: bounds, monotonicity, and degenerate inputs
+
+TEST(ProbabilityIsotropic, StaysWithinUnitInterval) {
+  for (const double m : {0.0, 0.01, 0.1, 1.0, 5.0, 50.0, 500.0}) {
+    for (const double s : {0.005, 0.05, 0.5, 5.0, 50.0}) {
+      for (const double r : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+        const double pc = collision_probability_isotropic(m, s, r);
+        EXPECT_GE(pc, 0.0) << "m=" << m << " s=" << s << " r=" << r;
+        EXPECT_LE(pc, 1.0) << "m=" << m << " s=" << s << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(ProbabilityIsotropic, DecreasesWithMissDistance) {
+  double prev = 1.0;
+  for (const double m : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const double pc = collision_probability_isotropic(m, 1.0, 0.1);
+    EXPECT_LE(pc, prev + 1e-15) << "Pc rose as the miss grew, m=" << m;
+    prev = pc;
+  }
+}
+
+TEST(ProbabilityIsotropic, MissSignIsIrrelevant) {
+  EXPECT_DOUBLE_EQ(collision_probability_isotropic(3.0, 1.0, 0.2),
+                   collision_probability_isotropic(-3.0, 1.0, 0.2));
+}
+
+TEST(ProbabilityIsotropic, HeadOnWithHugeBodyIsCertain) {
+  // R >> sigma captures essentially all the probability mass.
+  EXPECT_NEAR(collision_probability_isotropic(0.0, 0.1, 10.0), 1.0, 1e-9);
+}
+
+TEST(ProbabilityIsotropic, DegenerateInputs) {
+  EXPECT_THROW(collision_probability_isotropic(1.0, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(collision_probability_isotropic(1.0, -1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_EQ(collision_probability_isotropic(1.0, 1.0, 0.0), 0.0);
+  EXPECT_EQ(collision_probability_isotropic(1.0, 1.0, -0.5), 0.0);
+}
+
+TEST(ProbabilityIsotropic, HeadOnClosedForm) {
+  // For m = 0 the Rician integral collapses to 1 - exp(-R^2 / (2 s^2)).
+  for (const double s : {0.1, 0.5, 2.0}) {
+    for (const double r : {0.05, 0.2, 1.0}) {
+      const double expected = 1.0 - std::exp(-r * r / (2.0 * s * s));
+      EXPECT_NEAR(collision_probability_isotropic(0.0, s, r), expected, 1e-10)
+          << "s=" << s << " r=" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Anisotropic Pc: bounds, symmetries, and the isotropic cross-check
+
+TEST(Probability2d, StaysWithinUnitInterval) {
+  for (const double mx : {-5.0, 0.0, 0.3, 4.0}) {
+    for (const double my : {-2.0, 0.0, 1.5}) {
+      for (const double sx : {0.05, 0.5, 5.0}) {
+        const double pc = collision_probability_2d(mx, my, sx, 2.0 * sx, 0.2);
+        EXPECT_GE(pc, 0.0);
+        EXPECT_LE(pc, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Probability2d, MirrorSymmetry) {
+  // The Gaussian is even in each axis, so flipping the miss vector through
+  // either axis (or both) leaves Pc unchanged.
+  const double base = collision_probability_2d(1.2, -0.7, 0.8, 1.5, 0.3);
+  EXPECT_NEAR(collision_probability_2d(-1.2, -0.7, 0.8, 1.5, 0.3), base, 1e-12);
+  EXPECT_NEAR(collision_probability_2d(1.2, 0.7, 0.8, 1.5, 0.3), base, 1e-12);
+  EXPECT_NEAR(collision_probability_2d(-1.2, 0.7, 0.8, 1.5, 0.3), base, 1e-12);
+}
+
+TEST(Probability2d, AxisSwapSymmetry) {
+  // Swapping the two encounter-plane axes (miss and sigma together) is a
+  // relabeling; the probability cannot change.
+  const double ab = collision_probability_2d(0.9, -1.4, 0.6, 2.2, 0.25);
+  const double ba = collision_probability_2d(-1.4, 0.9, 2.2, 0.6, 0.25);
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+TEST(Probability2d, ReducesToIsotropicOnCircularCovariance) {
+  // With sx == sy the quadrature and the Rician integral evaluate the same
+  // quantity through entirely different numerics; require agreement to a
+  // tolerance far below any physical decision threshold.
+  for (const double m : {0.0, 0.3, 1.0, 3.0}) {
+    for (const double s : {0.2, 1.0, 4.0}) {
+      const double iso =
+          collision_probability_isotropic(m, s, 0.5);
+      const double quad = collision_probability_2d(
+          m / std::sqrt(2.0), m / std::sqrt(2.0), s, s, 0.5);
+      EXPECT_NEAR(quad, iso, 1e-6) << "m=" << m << " s=" << s;
+    }
+  }
+}
+
+TEST(Probability2d, DegenerateInputs) {
+  EXPECT_THROW(collision_probability_2d(1.0, 1.0, 0.0, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(collision_probability_2d(1.0, 1.0, 1.0, -2.0, 0.1),
+               std::invalid_argument);
+  EXPECT_EQ(collision_probability_2d(1.0, 1.0, 1.0, 1.0, 0.0), 0.0);
+  EXPECT_EQ(collision_probability_2d(1.0, 1.0, 1.0, 1.0, -1.0), 0.0);
+}
+
+TEST(CombinedSigma, RootSumSquare) {
+  EXPECT_DOUBLE_EQ(combined_sigma(3.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(combined_sigma(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(combined_sigma(2.0, 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace scod

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "population/catalog_io.hpp"
 #include "population/generator.hpp"
 
@@ -107,6 +109,100 @@ TEST(Serve, SurvivesBadCommandsAndFiles) {
   EXPECT_NE(run.output.find("ok ingested 50 objects"), std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("(full)"), std::string::npos) << run.output;
+  std::remove(catalog.c_str());
+}
+
+TEST(Serve, PartialFinalLineIsStillProcessed) {
+  // A driver that dies mid-write (or a pipe without a trailing newline)
+  // must not lose the final command: getline delivers the unterminated
+  // tail and the loop processes it before EOF ends the session.
+  const ServeRun run = run_serve("", "frobnicate\nstats");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("error: unknown command 'frobnicate'"),
+            std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("ok epoch 0, 0 objects"), std::string::npos)
+      << run.output;
+}
+
+TEST(Serve, EveryReplyLineHasAProtocolPrefix) {
+  // Drivers dispatch on the first token of each reply, so every top-level
+  // line must start with "ok " or "error: "; continuation detail lines are
+  // indented. The banner is the only exception.
+  const std::string catalog = write_catalog("serve_cat3.csv", 100, 7);
+  const ServeRun run = run_serve(
+      "--threshold 5 --span 900",
+      "bogus\n"
+      "ingest " + catalog + "\n" +
+      "screen\n"
+      "stats\n"
+      "quit\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::istringstream lines(run.output);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("scod_serve ready", 0) == 0) continue;
+    const bool ok = line.rfind("ok ", 0) == 0;
+    const bool error = line.rfind("error: ", 0) == 0;
+    const bool detail = line.rfind("  ", 0) == 0;
+    EXPECT_TRUE(ok || error || detail) << "unprefixed reply line: " << line;
+    ++checked;
+  }
+  EXPECT_GT(checked, 4u) << run.output;
+  std::remove(catalog.c_str());
+}
+
+TEST(Serve, StatsRoundTripTracksMutationsAndScreens) {
+  const std::string catalog = write_catalog("serve_cat4.csv", 120, 11);
+  const ServeRun run = run_serve(
+      "--threshold 5 --span 900",
+      "stats\n"
+      "ingest " + catalog + "\n" +
+      "remove 3\n"
+      "screen\n"
+      "screen\n"
+      "stats\n"
+      "quit\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  // Before any mutation the store is empty at epoch 0.
+  EXPECT_NE(run.output.find("ok epoch 0, 0 objects"), std::string::npos)
+      << run.output;
+  // Afterwards: one ingest, one removal, one full screen, and the no-delta
+  // rescreen answered from the warm baseline as a cached screen.
+  EXPECT_NE(run.output.find("ingests 1"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("removals 1"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("screens: 1 full, 0 incremental, 1 cached"),
+            std::string::npos) << run.output;
+  std::remove(catalog.c_str());
+}
+
+TEST(Serve, TelemetryCommandRoundTrip) {
+  const std::string catalog = write_catalog("serve_cat5.csv", 100, 13);
+  const ServeRun run = run_serve(
+      "--threshold 5 --span 900",
+      "telemetry\n"
+      "ingest " + catalog + "\n" +
+      "screen\n"
+      "telemetry\n"
+      "telemetry reset\n"
+      "telemetry bogus\n"
+      "quit\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+#if SCOD_TELEMETRY_ENABLED
+  // The reply embeds the snapshot JSON; after a screen the funnel counters
+  // are non-zero, so a known counter key must appear.
+  EXPECT_NE(run.output.find("ok telemetry {"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("\"samples_propagated\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("ok telemetry reset"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("error: unknown telemetry argument 'bogus'"),
+            std::string::npos) << run.output;
+#else
+  EXPECT_NE(run.output.find("error: telemetry compiled out"), std::string::npos)
+      << run.output;
+#endif
   std::remove(catalog.c_str());
 }
 

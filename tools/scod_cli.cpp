@@ -20,6 +20,7 @@
 
 #include "assessment/cdm.hpp"
 #include "core/screen.hpp"
+#include "obs/telemetry.hpp"
 #include "population/catalog_io.hpp"
 #include "population/generator.hpp"
 #include "orbit/geometry.hpp"
@@ -48,6 +49,7 @@ int usage() {
                "  screen    --catalog FILE [--variant grid|hybrid|legacy|sieve]\n"
                "            [--threshold KM] [--span S] [--sps S]\n"
                "            [--propagator kepler|j2|ephemeris|tle] [--csv OUT]\n"
+               "            [--telemetry]\n"
                "  assess    --catalog FILE [--threshold KM] [--span S]\n"
                "            [--sigma KM] [--radius KM] [--top N]\n"
                "  cube      --catalog FILE [--span S] [--cube-size KM]\n"
@@ -116,11 +118,22 @@ int cmd_generate(int argc, const char* const* argv) {
 
 int cmd_screen(int argc, const char* const* argv) {
   const CliArgs args(argc, argv, {"catalog", "variant", "threshold", "span", "sps",
-                                  "propagator", "csv"});
+                                  "propagator", "csv", "telemetry"});
   const std::string catalog_path = args.get_string("catalog", "");
   if (catalog_path.empty()) {
     std::fprintf(stderr, "screen: --catalog is required\n");
     return 2;
+  }
+  const bool telemetry = args.get_bool("telemetry", false);
+  if (telemetry && !obs::compiled()) {
+    std::fprintf(stderr,
+                 "screen: --telemetry requested but this build has "
+                 "SCOD_TELEMETRY=OFF\n");
+    return 2;
+  }
+  if (telemetry) {
+    obs::reset();
+    obs::set_enabled(true);
   }
   const auto sats = load_catalog(catalog_path);
 
@@ -184,6 +197,11 @@ int cmd_screen(int argc, const char* const* argv) {
   for (const Conjunction& c : report.conjunctions) {
     std::printf("  %6u %6u  tca=%10.2f s  pca=%8.4f km\n", c.sat_a, c.sat_b, c.tca,
                 c.pca);
+  }
+
+  if (telemetry) {
+    obs::set_enabled(false);
+    std::printf("telemetry: %s\n", obs::snapshot().to_json().c_str());
   }
 
   const std::string csv_path = args.get_string("csv", "");

@@ -45,6 +45,7 @@ int usage() {
                "  --save-case FILE  write the first generated case and exit\n"
                "  --out DIR         where shrunk failure cases land (default .)\n"
                "  --no-service      skip the incremental-service check\n"
+               "  --no-counters     skip the telemetry funnel-invariant checks\n"
                "  --no-shrink      report divergences without minimizing\n"
                "\n"
                "exit status: 0 when every case agrees, 1 on any divergence.\n");
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"runs", "seed", "objects", "per-regime", "span",
                       "threshold", "sps", "case", "corpus", "save-case", "out",
-                      "no-service", "no-shrink", "help"});
+                      "no-service", "no-counters", "no-shrink", "help"});
   if (args.has("help")) return usage();
   if (!args.unknown().empty()) {
     for (const std::string& opt : args.unknown()) {
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   settings.shrink = !args.get_bool("no-shrink", false);
   settings.out_dir = args.get_string("out", ".");
   settings.differential.check_service = !args.get_bool("no-service", false);
+  settings.differential.check_counters = !args.get_bool("no-counters", false);
 
   AdversarialConfig generator;
   generator.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

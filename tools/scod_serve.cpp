@@ -20,6 +20,7 @@
 ///   remove <id>          drop one object
 ///   screen [full|auto]   screen the current snapshot (default: auto)
 ///   stats                cumulative service counters
+///   telemetry [reset]    pipeline counter snapshot as one JSON line
 ///   help                 command summary
 ///   quit                 exit
 ///
@@ -31,6 +32,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "service/screening_service.hpp"
 #include "util/cli.hpp"
 
@@ -51,6 +53,7 @@ void print_help() {
       "  remove <id>          drop one object\n"
       "  screen [full|auto]   screen the current snapshot\n"
       "  stats                cumulative service counters\n"
+      "  telemetry [reset]    pipeline counter snapshot as one JSON line\n"
       "  help                 this summary\n"
       "  quit                 exit\n");
 }
@@ -119,6 +122,9 @@ int main(int argc, char** argv) {
   const auto top = static_cast<std::size_t>(args.get_int("top", 10));
 
   ScreeningService service(options);
+  // A daemon wants its counters populated from the first screen; the
+  // per-call overhead is noise next to the screening work itself.
+  obs::set_enabled(true);
   std::printf("scod_serve ready (threshold %.2f km, span %.0f s); "
               "'help' lists commands\n",
               options.config.threshold_km, options.config.span_seconds());
@@ -173,6 +179,19 @@ int main(int argc, char** argv) {
         print_report(service.screen(mode), top);
       } else if (command == "stats") {
         print_stats(service);
+      } else if (command == "telemetry") {
+        std::string arg;
+        ss >> arg;
+        if (!obs::compiled()) {
+          std::printf("error: telemetry compiled out (SCOD_TELEMETRY=OFF)\n");
+        } else if (arg == "reset") {
+          obs::reset();
+          std::printf("ok telemetry reset\n");
+        } else if (!arg.empty()) {
+          std::printf("error: unknown telemetry argument '%s'\n", arg.c_str());
+        } else {
+          std::printf("ok telemetry %s\n", obs::snapshot().to_json().c_str());
+        }
       } else {
         std::printf("error: unknown command '%s' (try 'help')\n", command.c_str());
       }
