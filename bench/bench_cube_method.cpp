@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
     ScreeningConfig cfg = make_config(opt);
     Stopwatch grid_watch;
-    const ScreeningReport grid = GridScreener().screen(prop, cfg);
+    const ScreeningReport grid = make_screener(Variant::kGrid)->screen(prop, cfg);
     const double grid_secs = grid_watch.seconds();
 
     CubeConfig cube_cfg;
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     const TwoBodyPropagator prop(shell, solver);
     ScreeningConfig cfg = make_config(opt);
     cfg.threshold_km = 5.0;
-    const ScreeningReport grid = GridScreener().screen(prop, cfg);
+    const ScreeningReport grid = make_screener(Variant::kGrid)->screen(prop, cfg);
 
     CubeConfig cube_cfg;
     cube_cfg.cube_size_km = 3000.0;  // of the order of the in-plane spacing

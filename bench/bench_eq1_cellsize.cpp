@@ -104,7 +104,11 @@ int main(int argc, char** argv) {
     ScreeningConfig cfg = make_config(opt);
     ScreeningReport report;
     const double secs = median_seconds(
-        [&] { report = GridScreener(options).screen(sats, cfg); }, opt.repeats);
+        [&] {
+          report = make_screener(Variant::kGrid, nullptr, pipeline_options(options))
+                       ->screen(sats, cfg);
+        },
+        opt.repeats);
 
     std::size_t found = 0;
     for (std::size_t k = 0; k < kEngineered; ++k) {

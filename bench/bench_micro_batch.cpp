@@ -158,8 +158,9 @@ int main(int argc, char** argv) {
   double batch_ins = 0.0, scalar_ins = 0.0;
   const double batch_secs = median_seconds(
       [&] {
-        const GridScreener screener;  // batch_propagation defaults to true
-        const ScreeningReport report = screener.screen(sats, cfg);
+        // batch_propagation defaults to true
+        const ScreeningReport report =
+            make_screener(Variant::kGrid)->screen(sats, cfg);
         conj_batch = report.conjunctions.size();
         batch_ins = report.timings.insertion;
       },
@@ -168,8 +169,9 @@ int main(int argc, char** argv) {
       [&] {
         GridPipelineOptions options = GridScreener::default_options();
         options.batch_propagation = false;
-        const GridScreener screener(options);
-        const ScreeningReport report = screener.screen(sats, cfg);
+        const ScreeningReport report =
+            make_screener(Variant::kGrid, nullptr, pipeline_options(options))
+                ->screen(sats, cfg);
         conj_scalar = report.conjunctions.size();
         scalar_ins = report.timings.insertion;
       },

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/exec.hpp"
 #include "obs/telemetry.hpp"
 #include "orbit/geometry.hpp"
@@ -42,10 +43,18 @@ void simulate_upload(Device& device, DeviceBuffer<std::byte>& dst, std::size_t b
 namespace {
 
 GridPipelineResult run_pipeline_impl(const Propagator& propagator,
-                                     const ScreeningConfig& config,
+                                     const ScreeningConfig& caller_config,
                                      const GridPipelineOptions& options,
                                      const GridRoundSink* sink) {
   GridPipelineResult result;
+
+  // Bound-or-ephemeral context: step-1 scratch is always checked out of an
+  // arena; without an attached context it is a throwaway one, which is
+  // exactly the old allocate-per-call behavior.
+  detail::ContextLease lease(options.context);
+  ScreeningContext::Use use(*lease);
+  const ScreeningConfig config = lease->apply(caller_config);
+
   Stopwatch alloc_watch;
 
   const std::size_t n = propagator.size();
@@ -104,13 +113,19 @@ GridPipelineResult run_pipeline_impl(const Propagator& propagator,
   const std::size_t total_steps = result.plan.total_samples;
 
   // Step 1 (allocation): p per-step grids, the candidate set, and the
-  // per-satellite speed bounds used by the distance prefilter.
-  std::vector<GridHashSet> grids;
-  grids.reserve(p);
-  for (std::size_t g = 0; g < p; ++g) grids.emplace_back(n);
-  CandidateSet candidates(request.candidate_capacity);
+  // per-satellite speed bounds used by the distance prefilter — checked
+  // out of the arena at exactly the sizes a cold screen would allocate.
+  // Carried-over grids still hold the previous screen's entries; reset
+  // them here, on the worker pool, like the between-rounds clears below.
+  ScratchArena& arena = lease->arena();
+  const ScratchArena::GridCheckout grid_checkout = arena.grids(p, n);
+  std::vector<GridHashSet>& grids = *grid_checkout.grids;
+  pool_of(config).parallel_for(
+      grid_checkout.reused, [&](std::size_t g) { grids[g].clear(); },
+      /*grain=*/1);
+  CandidateSet& candidates = arena.candidates(request.candidate_capacity);
 
-  std::vector<double> vmax(n);
+  std::vector<double>& vmax = arena.vmax(n);
   pool_of(config).parallel_for(n, [&](std::size_t i) {
     vmax[i] = max_speed(propagator.elements(i));
   });

@@ -13,6 +13,8 @@
 
 namespace scod {
 
+class ScreeningContext;
+
 /// Options of the shared grid front-end (steps 1-2 of Section III: memory
 /// allocation, parallel propagation + insertion, parallel candidate
 /// detection).
@@ -51,6 +53,12 @@ struct GridPipelineOptions {
   /// either way — disable only to benchmark the scalar path
   /// (bench_micro_batch).
   bool batch_propagation = true;
+  /// Long-lived screening context to borrow step-1 scratch from (grids,
+  /// candidate set, vmax table). Checked-out buffers are reset to exactly
+  /// the state a fresh allocation would have, so results are bit-identical
+  /// either way; warm repeat screens just skip the allocation cost. With
+  /// nullptr (the default) the pipeline allocates per call as before.
+  ScreeningContext* context = nullptr;
 };
 
 /// Everything the grid front-end produced for the refinement/filter stages.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/context.hpp"
 #include "core/exec.hpp"
 #include "obs/telemetry.hpp"
 #include "pca/pair_evaluator.hpp"
@@ -25,9 +26,10 @@ namespace {
 std::vector<Conjunction> refine_candidates(const Propagator& propagator,
                                            const ScreeningConfig& config,
                                            const GridPipelineResult& pipeline,
-                                           const std::vector<Candidate>& candidates) {
-  std::vector<Conjunction> slots(candidates.size());
-  std::vector<std::uint8_t> valid(candidates.size(), 0);
+                                           const std::vector<Candidate>& candidates,
+                                           ScratchArena& arena) {
+  std::vector<Conjunction>& slots = arena.conjunction_slots(candidates.size());
+  std::vector<std::uint8_t>& valid = arena.valid_flags(candidates.size());
 
   const RefineFastPath fast = RefineFastPath::probe(propagator);
   detail::execute(config, candidates.size(), [&](std::size_t i) {
@@ -94,7 +96,11 @@ GridPipelineOptions GridScreener::default_options() {
   return options;
 }
 
-GridScreener::GridScreener(GridPipelineOptions options) : options_(options) {}
+GridScreener::GridScreener(GridPipelineOptions options, ScreeningContext* context)
+    : options_(options),
+      context_(context != nullptr ? context : options.context) {
+  options_.context = nullptr;  // resolved per call through context_
+}
 
 ScreeningReport GridScreener::screen(std::span<const Satellite> satellites,
                                      const ScreeningConfig& config) const {
@@ -109,11 +115,16 @@ ScreeningReport GridScreener::screen(std::span<const Satellite> satellites,
 }
 
 ScreeningReport GridScreener::screen(const Propagator& propagator,
-                                     const ScreeningConfig& config) const {
+                                     const ScreeningConfig& caller_config) const {
+  detail::ContextLease lease(context_);
+  ScreeningContext::Use use(*lease);
+  const ScreeningConfig config = lease->apply(caller_config);
+
   GridPipelineOptions options = options_;
   if (config.seconds_per_sample > 0.0) {
     options.seconds_per_sample = config.seconds_per_sample;
   }
+  options.context = lease.get();
 
   const GridPipelineResult pipeline = run_grid_pipeline(propagator, config, options);
 
@@ -121,7 +132,7 @@ ScreeningReport GridScreener::screen(const Propagator& propagator,
   Stopwatch refine_watch;
   report.conjunctions =
       merge_conjunctions(refine_candidates(propagator, config, pipeline,
-                                           pipeline.candidates),
+                                           pipeline.candidates, lease->arena()),
                          config.effective_merge_tolerance());
   report.timings.refinement = refine_watch.seconds();
   obs::add_seconds(obs::Counter::kTimeRefinementNs, report.timings.refinement);
@@ -131,12 +142,17 @@ ScreeningReport GridScreener::screen(const Propagator& propagator,
 }
 
 ScreeningReport GridScreener::screen_streaming(const Propagator& propagator,
-                                               const ScreeningConfig& config,
+                                               const ScreeningConfig& caller_config,
                                                const ConjunctionSink& sink) const {
+  detail::ContextLease lease(context_);
+  ScreeningContext::Use use(*lease);
+  const ScreeningConfig config = lease->apply(caller_config);
+
   GridPipelineOptions options = options_;
   if (config.seconds_per_sample > 0.0) {
     options.seconds_per_sample = config.seconds_per_sample;
   }
+  options.context = lease.get();
 
   const double merge_tolerance = config.effective_merge_tolerance();
   double refine_seconds = 0.0;
@@ -149,7 +165,8 @@ ScreeningReport GridScreener::screen_streaming(const Propagator& propagator,
                                        const GridPipelineResult& pipeline) {
     Stopwatch watch;
     std::vector<Conjunction> merged = merge_conjunctions(
-        refine_candidates(propagator, config, pipeline, candidates),
+        refine_candidates(propagator, config, pipeline, candidates,
+                          lease->arena()),
         merge_tolerance);
 
     std::vector<Conjunction> fresh;

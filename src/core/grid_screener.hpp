@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "core/grid_pipeline.hpp"
 #include "core/report.hpp"
+#include "core/screener.hpp"
 #include "orbit/elements.hpp"
 #include "propagation/propagator.hpp"
 
@@ -15,26 +16,31 @@ namespace scod {
 /// small sampling steps, small cells, every grid candidate goes straight
 /// to the Brent TCA/PCA refinement — no orbital filters. Lower memory
 /// footprint than the hybrid variant at the cost of more refinement work.
-class GridScreener {
+class GridScreener final : public Screener {
  public:
   /// Default sampling period of the grid variant [s]; Eq. (1) then gives
   /// cells of threshold + 7.8 * s_ps km. Overridden by
   /// ScreeningConfig::seconds_per_sample when that is positive.
   static constexpr double kDefaultSecondsPerSample = 4.0;
 
-  explicit GridScreener(GridPipelineOptions options = default_options());
+  /// With a context, pipeline scratch and refinement slots are borrowed
+  /// from its arena across calls; the context must outlive the screener.
+  explicit GridScreener(GridPipelineOptions options = default_options(),
+                        ScreeningContext* context = nullptr);
 
   static GridPipelineOptions default_options();
+
+  Variant variant() const override { return Variant::kGrid; }
 
   /// Screens a satellite population: builds the Contour-solver two-body
   /// propagator internally (timed as allocation) and runs the pipeline.
   ScreeningReport screen(std::span<const Satellite> satellites,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
   /// Screens with a caller-supplied propagator (e.g. the J2 secular
   /// propagator); the propagator must be thread-safe.
   ScreeningReport screen(const Propagator& propagator,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
   /// Conjunctions found in one streaming round.
   using ConjunctionSink =
@@ -54,6 +60,7 @@ class GridScreener {
 
  private:
   GridPipelineOptions options_;
+  ScreeningContext* context_ = nullptr;
 };
 
 }  // namespace scod

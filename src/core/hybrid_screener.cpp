@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/context.hpp"
 #include "core/exec.hpp"
 #include "filters/apogee_perigee.hpp"
 #include "obs/telemetry.hpp"
@@ -55,7 +56,12 @@ GridPipelineOptions HybridScreener::default_options() {
   return options;
 }
 
-HybridScreener::HybridScreener(GridPipelineOptions options) : options_(options) {}
+HybridScreener::HybridScreener(GridPipelineOptions options,
+                               ScreeningContext* context)
+    : options_(options),
+      context_(context != nullptr ? context : options.context) {
+  options_.context = nullptr;  // resolved per call through context_
+}
 
 ScreeningReport HybridScreener::screen(std::span<const Satellite> satellites,
                                        const ScreeningConfig& config) const {
@@ -70,13 +76,18 @@ ScreeningReport HybridScreener::screen(std::span<const Satellite> satellites,
 }
 
 ScreeningReport HybridScreener::screen(const Propagator& propagator,
-                                       const ScreeningConfig& config) const {
+                                       const ScreeningConfig& caller_config) const {
+  detail::ContextLease lease(context_);
+  ScreeningContext::Use use(*lease);
+  const ScreeningConfig config = lease->apply(caller_config);
+
   GridPipelineOptions options = options_;
   if (config.seconds_per_sample > 0.0) {
     options.seconds_per_sample = config.seconds_per_sample;
   }
+  options.context = lease.get();
 
-  const GridPipelineResult pipeline = run_grid_pipeline(propagator, config, options);
+  GridPipelineResult pipeline = run_grid_pipeline(propagator, config, options);
 
   ScreeningReport report;
   report.timings.allocation = pipeline.allocation_seconds;
@@ -86,7 +97,7 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
   // ---- Step 3: orbital filters on the distinct pairs --------------------
   Stopwatch filter_watch;
 
-  std::vector<Candidate> candidates = pipeline.candidates;
+  std::vector<Candidate> candidates = std::move(pipeline.candidates);
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& x, const Candidate& y) {
               if (x.sat_a != y.sat_a) return x.sat_a < y.sat_a;
@@ -206,8 +217,8 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
 
   // ---- Step 4: Brent refinement -----------------------------------------
   Stopwatch refine_watch;
-  std::vector<Conjunction> slots(tasks.size());
-  std::vector<std::uint8_t> valid(tasks.size(), 0);
+  std::vector<Conjunction>& slots = lease->arena().conjunction_slots(tasks.size());
+  std::vector<std::uint8_t>& valid = lease->arena().valid_flags(tasks.size());
 
   // With the concrete TwoBody/Contour pair, each task snapshots both cache
   // entries once (PairStateEvaluator) so the Brent objective is a direct
@@ -282,7 +293,7 @@ ScreeningReport HybridScreener::screen(const Propagator& propagator,
   report.stats.rounds = pipeline.plan.rounds;
   report.stats.seconds_per_sample = pipeline.sample_period;
   report.stats.cell_size_km = pipeline.cell_size;
-  report.stats.candidates = pipeline.candidates.size();
+  report.stats.candidates = candidates.size();
   report.stats.pairs_examined = pair_ranges.size();
   report.stats.filtered_apogee_perigee = rejected_ap.load();
   report.stats.filtered_path = rejected_path.load();

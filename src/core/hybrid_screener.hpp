@@ -5,6 +5,7 @@
 #include "core/config.hpp"
 #include "core/grid_pipeline.hpp"
 #include "core/report.hpp"
+#include "core/screener.hpp"
 #include "orbit/elements.hpp"
 #include "propagation/propagator.hpp"
 
@@ -18,24 +19,30 @@ namespace scod {
 /// refinement. "The additional checks reduce the number of pairs we have
 /// to examine for their PCAs and TCAs, so we sample less frequently ...
 /// effectively trading time for space."
-class HybridScreener {
+class HybridScreener final : public Screener {
  public:
   /// Default sampling period [s]; four times the grid variant's, i.e.
   /// four-times-fewer sample steps with correspondingly larger cells.
   static constexpr double kDefaultSecondsPerSample = 16.0;
 
-  explicit HybridScreener(GridPipelineOptions options = default_options());
+  /// With a context, pipeline scratch and refinement slots are borrowed
+  /// from its arena across calls; the context must outlive the screener.
+  explicit HybridScreener(GridPipelineOptions options = default_options(),
+                          ScreeningContext* context = nullptr);
 
   static GridPipelineOptions default_options();
 
+  Variant variant() const override { return Variant::kHybrid; }
+
   ScreeningReport screen(std::span<const Satellite> satellites,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
   ScreeningReport screen(const Propagator& propagator,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
  private:
   GridPipelineOptions options_;
+  ScreeningContext* context_ = nullptr;
 };
 
 }  // namespace scod

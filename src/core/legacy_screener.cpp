@@ -1,8 +1,10 @@
 #include "core/legacy_screener.hpp"
 
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
+#include "core/context.hpp"
 #include "filters/apogee_perigee.hpp"
 #include "filters/coplanarity.hpp"
 #include "filters/dense_scan.hpp"
@@ -19,7 +21,8 @@ namespace scod {
 
 LegacyScreener::LegacyScreener() : options_(Options{}) {}
 
-LegacyScreener::LegacyScreener(Options options) : options_(options) {}
+LegacyScreener::LegacyScreener(Options options, ScreeningContext* context)
+    : options_(options), context_(context) {}
 
 ScreeningReport LegacyScreener::screen(std::span<const Satellite> satellites,
                                        const ScreeningConfig& config) const {
@@ -35,6 +38,15 @@ ScreeningReport LegacyScreener::screen(std::span<const Satellite> satellites,
 
 ScreeningReport LegacyScreener::screen(const Propagator& propagator,
                                        const ScreeningConfig& config) const {
+  if (config.device != nullptr) {
+    throw std::invalid_argument(
+        "screen: the legacy variant has no device backend");
+  }
+  // The single-threaded chain carries no sized scratch; the context is
+  // only the telemetry handle (and the cross-thread misuse guard).
+  detail::ContextLease lease(context_);
+  ScreeningContext::Use use(*lease);
+
   ScreeningReport report;
   const std::size_t n = propagator.size();
   const double reach = config.threshold_km + config.filter_pad_km;

@@ -4,6 +4,7 @@
 
 #include "core/config.hpp"
 #include "core/report.hpp"
+#include "core/screener.hpp"
 #include "orbit/elements.hpp"
 #include "propagation/propagator.hpp"
 
@@ -15,25 +16,27 @@ namespace scod {
 /// node-miss, node time windows — and the survivors get a Brent TCA/PCA
 /// search. Deliberately single-threaded, like the paper's numba-JIT Python
 /// baseline, so the quadratic pair loop is undiluted.
-class LegacyScreener {
+class LegacyScreener final : public Screener {
  public:
-  struct Options {
-    /// Sampling step of the dense encounter scan used for coplanar pairs,
-    /// where the node-window construction degenerates [s].
-    double dense_scan_step = 16.0;
-  };
+  using Options = LegacyScreenerOptions;
 
   LegacyScreener();
-  explicit LegacyScreener(Options options);
+  explicit LegacyScreener(Options options, ScreeningContext* context = nullptr);
 
+  Variant variant() const override { return Variant::kLegacy; }
+
+  /// Throws std::invalid_argument when config.device is set: the legacy
+  /// baseline is CPU-only (and single-threaded) by definition.
   ScreeningReport screen(std::span<const Satellite> satellites,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
   ScreeningReport screen(const Propagator& propagator,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
  private:
   Options options_;
+  ScreeningContext* context_ = nullptr;  ///< telemetry handle only; the
+                                         ///< chain needs no sized scratch
 };
 
 }  // namespace scod

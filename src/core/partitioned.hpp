@@ -5,10 +5,12 @@
 
 #include "core/config.hpp"
 #include "core/report.hpp"
-#include "core/screen.hpp"
+#include "core/screener.hpp"
 #include "orbit/elements.hpp"
 
 namespace scod {
+
+class ScreeningContext;
 
 /// Population-partitioned screening — the distribution strategy of the
 /// related work (Coppola et al. 2010 [24]: "dividing the object
@@ -17,14 +19,17 @@ namespace scod {
 /// screened independently on the union of the two blocks, and only
 /// conjunctions crossing the (i, j) combination are kept, so the merged
 /// result equals a direct screening of the whole population (verified by
-/// test). Each block-pair job is an independent unit of work that could
-/// run on a different machine; here they run sequentially, which makes
-/// this a correctness harness for the strategy, not a speedup.
+/// test). Each block-pair job is an independent unit of work; jobs fan
+/// out across the thread pool (the context's pool when one is bound,
+/// else the config's), with each job's inner screen running inline on a
+/// single-thread pool so nested parallelism cannot deadlock. Jobs are
+/// merged in deterministic (bi, bj) order regardless of completion order.
 ///
 /// Reported satellite identifiers are indices into `satellites`, exactly
 /// as with screen(). Timings/stats are summed over the block-pair jobs.
 ScreeningReport partitioned_screen(std::span<const Satellite> satellites,
                                    const ScreeningConfig& config, Variant variant,
-                                   std::size_t partitions);
+                                   std::size_t partitions,
+                                   ScreeningContext* context = nullptr);
 
 }  // namespace scod

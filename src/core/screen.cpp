@@ -1,38 +1,10 @@
 #include "core/screen.hpp"
 
-#include <stdexcept>
-
 namespace scod {
-
-std::string variant_name(Variant variant) {
-  switch (variant) {
-    case Variant::kGrid: return "grid";
-    case Variant::kHybrid: return "hybrid";
-    case Variant::kLegacy: return "legacy";
-    case Variant::kSieve: return "sieve";
-  }
-  return "unknown";
-}
 
 ScreeningReport screen(std::span<const Satellite> satellites,
                        const ScreeningConfig& config, Variant variant) {
-  switch (variant) {
-    case Variant::kGrid: return GridScreener().screen(satellites, config);
-    case Variant::kHybrid: return HybridScreener().screen(satellites, config);
-    case Variant::kLegacy: {
-      if (config.device != nullptr) {
-        throw std::invalid_argument("screen: the legacy variant has no device backend");
-      }
-      return LegacyScreener().screen(satellites, config);
-    }
-    case Variant::kSieve: {
-      if (config.device != nullptr) {
-        throw std::invalid_argument("screen: the sieve variant has no device backend");
-      }
-      return SieveScreener().screen(satellites, config);
-    }
-  }
-  throw std::invalid_argument("screen: unknown variant");
+  return make_screener(variant)->screen(satellites, config);
 }
 
 }  // namespace scod

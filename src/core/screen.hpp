@@ -1,32 +1,24 @@
 #pragma once
 
 #include <span>
-#include <string>
 
 #include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/screener.hpp"
+// Concrete screeners, re-exported for callers that construct one directly
+// (benches, tests); new code should go through make_screener.
 #include "core/grid_screener.hpp"
 #include "core/hybrid_screener.hpp"
 #include "core/legacy_screener.hpp"
 #include "core/sieve_screener.hpp"
-#include "core/report.hpp"
 
 namespace scod {
 
-/// The three conjunction-detection variants of the paper's evaluation.
-enum class Variant {
-  kGrid,    ///< purely grid-based (Section III, first variant)
-  kHybrid,  ///< grid + classical orbital filters (second variant)
-  kLegacy,  ///< single-threaded all-on-all filter chain (baseline)
-  kSieve,   ///< all-on-all smart sieve (related-work baseline [16], [17])
-};
-
-std::string variant_name(Variant variant);
-
 /// One-call convenience API: screens `satellites` over the configured span
-/// with the chosen variant. Equivalent to constructing the corresponding
-/// screener with default options. Pair a Device with config.device to run
-/// the grid/hybrid variants on the devicesim backend (the legacy variant
-/// is CPU-only by definition).
+/// with the chosen variant. Equivalent to
+/// make_screener(variant)->screen(satellites, config). Pair a Device with
+/// config.device to run the grid/hybrid variants on the devicesim backend
+/// (the all-on-all baselines are CPU-only by definition).
 ScreeningReport screen(std::span<const Satellite> satellites,
                        const ScreeningConfig& config, Variant variant);
 

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/exec.hpp"
 #include "filters/apogee_perigee.hpp"
 #include "obs/telemetry.hpp"
@@ -20,7 +22,8 @@ namespace scod {
 
 SieveScreener::SieveScreener() : options_(Options{}) {}
 
-SieveScreener::SieveScreener(Options options) : options_(options) {}
+SieveScreener::SieveScreener(Options options, ScreeningContext* context)
+    : options_(options), context_(context) {}
 
 ScreeningReport SieveScreener::screen(std::span<const Satellite> satellites,
                                       const ScreeningConfig& config) const {
@@ -35,18 +38,26 @@ ScreeningReport SieveScreener::screen(std::span<const Satellite> satellites,
 }
 
 ScreeningReport SieveScreener::screen(const Propagator& propagator,
-                                      const ScreeningConfig& config) const {
+                                      const ScreeningConfig& caller_config) const {
+  if (caller_config.device != nullptr) {
+    throw std::invalid_argument(
+        "screen: the sieve variant has no device backend");
+  }
+  detail::ContextLease lease(context_);
+  ScreeningContext::Use use(*lease);
+  const ScreeningConfig config = lease->apply(caller_config);
+
   ScreeningReport report;
   const std::size_t n = propagator.size();
   if (n < 2) return report;
 
   Stopwatch alloc_watch;
-  std::vector<double> vmax(n);
+  std::vector<double>& vmax = lease->arena().vmax(n);
   for (std::size_t i = 0; i < n; ++i) vmax[i] = max_speed(propagator.elements(i));
 
   // Enumerate the upper-triangle pairs once so the parallel loop is flat.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-  pairs.reserve(n * (n - 1) / 2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs =
+      lease->arena().pair_buffer(n * (n - 1) / 2);
   for (std::uint32_t i = 0; i + 1 < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }

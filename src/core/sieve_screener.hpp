@@ -4,6 +4,7 @@
 
 #include "core/config.hpp"
 #include "core/report.hpp"
+#include "core/screener.hpp"
 #include "orbit/elements.hpp"
 #include "propagation/propagator.hpp"
 
@@ -22,30 +23,28 @@ namespace scod {
 /// for the comparison benches. Unlike the legacy filter chain it needs no
 /// plane geometry, so it is robust for coplanar pairs too; unlike the
 /// paper's baseline it parallelizes trivially over pairs.
-class SieveScreener {
+class SieveScreener final : public Screener {
  public:
-  struct Options {
-    /// The coarse sieve threshold is `coarse_factor` * screening
-    /// threshold; below it the pair is considered inside a proximity
-    /// window and a Brent search runs. Larger values find windows earlier
-    /// (fewer, longer skips) at the cost of more refinements.
-    double coarse_factor = 8.0;
-    /// Lower bound on a skip [s]; prevents pathological crawling when a
-    /// pair hovers just outside the coarse threshold.
-    double min_skip = 1.0;
-  };
+  using Options = SieveScreenerOptions;
 
   SieveScreener();
-  explicit SieveScreener(Options options);
+  /// With a context, the vmax table and flat pair list are borrowed from
+  /// its arena across calls; the context must outlive the screener.
+  explicit SieveScreener(Options options, ScreeningContext* context = nullptr);
 
+  Variant variant() const override { return Variant::kSieve; }
+
+  /// Throws std::invalid_argument when config.device is set: the sieve
+  /// baseline is CPU-only by definition.
   ScreeningReport screen(std::span<const Satellite> satellites,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
   ScreeningReport screen(const Propagator& propagator,
-                         const ScreeningConfig& config) const;
+                         const ScreeningConfig& config) const override;
 
  private:
   Options options_;
+  ScreeningContext* context_ = nullptr;
 };
 
 }  // namespace scod

@@ -102,7 +102,12 @@ inline void sinhcosh_small(double x, double& sinh_out, double& cosh_out) {
 /// (AVX2, 4 doubles/vector), selected once at load time via ifunc. The
 /// clones run the same -ffp-contract=off arithmetic, only wider, so the
 /// bit-identical guarantee holds on every dispatch target.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+///
+/// Disabled under ThreadSanitizer: GCC instruments the generated ifunc
+/// resolvers, and the dynamic loader runs them during relocation —
+/// before __tsan_init — so any binary linking a clone segfaults at load.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define SCOD_VEC_TARGETS __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else
 #define SCOD_VEC_TARGETS

@@ -4,7 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "core/grid_screener.hpp"
+#include "core/screener.hpp"
 #include "obs/telemetry.hpp"
 #include "util/stopwatch.hpp"
 
@@ -92,7 +92,8 @@ ServiceReport ScreeningService::full_screen(
   report.catalog_size = snap->size();
 
   const ScreeningReport dense =
-      GridScreener(options_.pipeline).screen(snap->satellites, options_.config);
+      make_screener(Variant::kGrid, &context_, pipeline_options(options_.pipeline))
+          ->screen(snap->satellites, options_.config);
   report.conjunctions = to_id_space(dense.conjunctions, *snap);
   report.refreshed = report.conjunctions.size();
   report.timings = dense.timings;
@@ -124,7 +125,8 @@ ServiceReport ScreeningService::incremental_screen(
     GridPipelineOptions pipeline = options_.pipeline;
     pipeline.dirty_mask = mask;
     const ScreeningReport dense =
-        GridScreener(pipeline).screen(snap->satellites, options_.config);
+        make_screener(Variant::kGrid, &context_, pipeline_options(pipeline))
+            ->screen(snap->satellites, options_.config);
 
     if (dense.stats.seconds_per_sample != baseline_sps_) {
       // The sizing model auto-shrank the sample period (population grew
@@ -163,9 +165,12 @@ ServiceReport ScreeningService::incremental_screen(
 }
 
 std::vector<IdConjunction> ScreeningService::reference_conjunctions() const {
+  // Deliberately cold (no shared context): the reference must not be able
+  // to inherit state from the passes it is checking.
   const std::shared_ptr<const CatalogSnapshot> snap = store_.snapshot();
   const ScreeningReport dense =
-      GridScreener(options_.pipeline).screen(snap->satellites, options_.config);
+      make_screener(Variant::kGrid, nullptr, pipeline_options(options_.pipeline))
+          ->screen(snap->satellites, options_.config);
   return to_id_space(dense.conjunctions, *snap);
 }
 

@@ -15,6 +15,8 @@
 #include <fstream>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -145,44 +147,39 @@ int cmd_screen(int argc, const char* const* argv) {
   const std::string variant_str = args.get_string("variant", "grid");
   const std::string prop_str = args.get_string("propagator", "kepler");
 
+  const std::optional<Variant> variant = parse_variant(variant_str);
+  if (!variant.has_value()) {
+    std::fprintf(stderr, "screen: unknown variant '%s'\n", variant_str.c_str());
+    return 2;
+  }
+  // One dispatch for all four variants: the factory hides which concrete
+  // screener runs, and every variant accepts an external propagator.
+  const std::unique_ptr<Screener> screener = make_screener(*variant);
+
   ScreeningReport report;
   const ContourKeplerSolver solver;
-  if (variant_str == "legacy") {
-    report = LegacyScreener().screen(sats, config);
-  } else if (variant_str == "sieve") {
-    report = SieveScreener().screen(sats, config);
+  if (prop_str == "kepler") {
+    // The default path builds the two-body propagator inside the screener,
+    // where its setup is timed as the paper's step-1 allocation.
+    report = screener->screen(sats, config);
+  } else if (prop_str == "j2") {
+    const J2SecularPropagator prop(sats, solver);
+    report = screener->screen(prop, config);
+  } else if (prop_str == "ephemeris") {
+    const auto prop = EphemerisPropagator::integrate(sats, config.t_begin,
+                                                     config.t_end, ForceModel{});
+    report = screener->screen(prop, config);
+  } else if (prop_str == "tle") {
+    if (!is_tle_path(catalog_path)) {
+      std::fprintf(stderr, "screen: --propagator tle needs a .tle catalog\n");
+      return 2;
+    }
+    const auto records = load_tle_file(catalog_path);
+    const TleSecularPropagator prop(records, solver);
+    report = screener->screen(prop, config);
   } else {
-    // Build the requested propagator and run the grid/hybrid screener on it.
-    auto run = [&](const Propagator& prop) {
-      return variant_str == "hybrid" ? HybridScreener().screen(prop, config)
-                                     : GridScreener().screen(prop, config);
-    };
-    if (variant_str != "grid" && variant_str != "hybrid") {
-      std::fprintf(stderr, "screen: unknown variant '%s'\n", variant_str.c_str());
-      return 2;
-    }
-    if (prop_str == "j2") {
-      const J2SecularPropagator prop(sats, solver);
-      report = run(prop);
-    } else if (prop_str == "ephemeris") {
-      const auto prop = EphemerisPropagator::integrate(sats, config.t_begin,
-                                                       config.t_end, ForceModel{});
-      report = run(prop);
-    } else if (prop_str == "tle") {
-      if (!is_tle_path(catalog_path)) {
-        std::fprintf(stderr, "screen: --propagator tle needs a .tle catalog\n");
-        return 2;
-      }
-      const auto records = load_tle_file(catalog_path);
-      const TleSecularPropagator prop(records, solver);
-      report = run(prop);
-    } else if (prop_str == "kepler") {
-      const TwoBodyPropagator prop(sats, solver);
-      report = run(prop);
-    } else {
-      std::fprintf(stderr, "screen: unknown propagator '%s'\n", prop_str.c_str());
-      return 2;
-    }
+    std::fprintf(stderr, "screen: unknown propagator '%s'\n", prop_str.c_str());
+    return 2;
   }
 
   std::printf("%s screening of %zu objects over %.0f s (d = %.2f km):\n",
